@@ -1,0 +1,87 @@
+// Command leasebench regenerates the paper's tables and figures on the
+// simulated multicore. Each experiment prints an aligned text table whose
+// rows correspond to the paper's data series (see DESIGN.md for the
+// mapping and EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	leasebench -list
+//	leasebench -exp fig2
+//	leasebench -exp all [-quick] [-threads 2,4,8] [-window 1500000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"leaserelease/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id to run, or 'all'")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		quick   = flag.Bool("quick", false, "small thread sweep and short windows")
+		threads = flag.String("threads", "", "comma-separated thread counts (override)")
+		warm    = flag.Uint64("warm", 0, "warmup cycles (override)")
+		window  = flag.Uint64("window", 0, "measurement window cycles (override)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Paper)
+		}
+		return
+	}
+	if *exp == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	p := bench.FullParams()
+	if *quick {
+		p = bench.QuickParams()
+	}
+	if *threads != "" {
+		p.Threads = nil
+		for _, s := range strings.Split(*threads, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 || n > 64 {
+				fmt.Fprintf(os.Stderr, "leasebench: bad thread count %q\n", s)
+				os.Exit(2)
+			}
+			p.Threads = append(p.Threads, n)
+		}
+	}
+	if *warm > 0 {
+		p.Warm = *warm
+	}
+	if *window > 0 {
+		p.Window = *window
+	}
+
+	run := func(e bench.Experiment) {
+		fmt.Printf("## %s — %s\n", e.ID, e.Paper)
+		start := time.Now()
+		e.Run(os.Stdout, p)
+		fmt.Printf("(wall time %.1fs)\n\n", time.Since(start).Seconds())
+	}
+
+	if *exp == "all" {
+		for _, e := range bench.All() {
+			run(e)
+		}
+		return
+	}
+	e, ok := bench.Find(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "leasebench: unknown experiment %q (use -list)\n", *exp)
+		os.Exit(2)
+	}
+	run(e)
+}

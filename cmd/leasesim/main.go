@@ -1,0 +1,138 @@
+// Command leasesim runs a single configurable simulation and dumps full
+// hardware counters — an explorer/debugger for the simulated machine.
+//
+// Usage:
+//
+//	leasesim -ds stack -threads 8 -lease -cycles 1000000
+//	leasesim -ds counter -threads 16 -priority
+//	leasesim -ds tl2 -threads 8 -multilease sw
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"leaserelease/internal/bench"
+	"leaserelease/internal/ds"
+	"leaserelease/internal/machine"
+	"leaserelease/internal/multiqueue"
+	"leaserelease/internal/stm"
+)
+
+func main() {
+	var (
+		dsName    = flag.String("ds", "stack", "data structure: stack|queue|pq|counter|multiqueue|tl2|harris|skiplist|bst|hash|lfskip|lfbst|lfhash")
+		threads   = flag.Int("threads", 8, "thread/core count (1..64)")
+		lease     = flag.Bool("lease", false, "enable the paper's lease placement")
+		leaseTime = flag.Uint64("leasetime", 20000, "lease duration in cycles")
+		maxLease  = flag.Uint64("maxleasetime", 20000, "MAX_LEASE_TIME in cycles")
+		cycles    = flag.Uint64("cycles", 1_000_000, "cycles to simulate")
+		warm      = flag.Uint64("warm", 100_000, "warmup cycles excluded from the report")
+		priority  = flag.Bool("priority", false, "regular requests break leases (§5)")
+		mesi      = flag.Bool("mesi", false, "MESI exclusive-clean read fills (§8)")
+		trace     = flag.Int("trace", 0, "print the first N lease-mechanism events")
+		predictor = flag.Bool("predictor", false, "enable the §5 speculative lease predictor")
+		multi     = flag.String("multilease", "hw", "tl2 multilease flavor: hw|sw|single|off")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	cfg := machine.DefaultConfig(*threads)
+	cfg.Lease.MaxLeaseTime = *maxLease
+	cfg.RegularBreaksLease = *priority
+	cfg.MESI = *mesi
+	cfg.Predictor.Enable = *predictor
+	cfg.Seed = *seed
+
+	lt := uint64(0)
+	if *lease {
+		lt = *leaseTime
+	}
+
+	var build func(d *machine.Direct) bench.OpFunc
+	var aborts uint64
+	switch *dsName {
+	case "stack":
+		build = bench.StackWorkload(ds.StackOptions{Lease: lt})
+	case "queue":
+		mode := ds.QueueNoLease
+		if *lease {
+			mode = ds.QueueSingleLease
+		}
+		build = bench.QueueWorkload(mode)
+	case "pq":
+		kind := bench.PQFineLocking
+		if *lease {
+			kind = bench.PQGlobalLeased
+		}
+		build = bench.PQWorkload(kind, 512)
+	case "counter":
+		kind := bench.CounterTTS
+		if *lease {
+			kind = bench.CounterLeasedTTS
+		}
+		build = bench.CounterWorkload(kind)
+	case "multiqueue":
+		build = bench.MQWorkload(multiqueue.Options{LeaseTime: lt})
+	case "tl2":
+		mode := stm.NoLease
+		switch *multi {
+		case "hw":
+			mode = stm.HWMulti
+		case "sw":
+			mode = stm.SWMulti
+		case "single":
+			mode = stm.SingleFirst
+		case "off":
+			mode = stm.NoLease
+		default:
+			fmt.Fprintf(os.Stderr, "leasesim: bad -multilease %q\n", *multi)
+			os.Exit(2)
+		}
+		build = bench.TL2Workload(mode, &aborts)
+	case "harris":
+		build = bench.SetWorkload(bench.SetHarris, lt, 1024, 512)
+	case "skiplist":
+		build = bench.SetWorkload(bench.SetLazySkip, lt, 1024, 512)
+	case "bst":
+		build = bench.SetWorkload(bench.SetBST, lt, 1024, 512)
+	case "hash":
+		build = bench.SetWorkload(bench.SetHash, lt, 1024, 512)
+	case "lfskip":
+		build = bench.SetWorkload(bench.SetLFSkip, lt, 1024, 512)
+	case "lfbst":
+		build = bench.SetWorkload(bench.SetNMTree, lt, 1024, 512)
+	case "lfhash":
+		build = bench.SetWorkload(bench.SetMichaelHash, lt, 1024, 512)
+	default:
+		fmt.Fprintf(os.Stderr, "leasesim: unknown -ds %q\n", *dsName)
+		os.Exit(2)
+	}
+
+	var hooks []func(*machine.Machine)
+	if *trace > 0 {
+		left := *trace
+		hooks = append(hooks, func(m *machine.Machine) {
+			m.SetTracer(func(e machine.TraceEvent) {
+				if left > 0 {
+					fmt.Println(e)
+					left--
+				}
+			})
+		})
+	}
+	r := bench.Throughput(cfg, *threads, *warm, *cycles, build, hooks...)
+	fmt.Printf("ds=%s threads=%d lease=%v window=%d cycles\n", *dsName, *threads, *lease, r.Cycles)
+	fmt.Printf("ops            %d\n", r.Ops)
+	fmt.Printf("throughput     %.3f Mops/s\n", r.MopsPerSec)
+	fmt.Printf("energy         %.3f nJ/op\n", r.NJPerOp)
+	fmt.Printf("L1 misses/op   %.3f\n", r.MissesPerOp)
+	fmt.Printf("messages/op    %.3f\n", r.MsgsPerOp)
+	fmt.Printf("CAS fails/op   %.3f\n", r.CASFailsPerOp)
+	if aborts > 0 {
+		fmt.Printf("tl2 aborts     %d (warm+window)\n", aborts)
+	}
+	fmt.Println("\nwindow counters:")
+	fmt.Println(r.Window)
+}

@@ -1,0 +1,50 @@
+// Quickstart: reproduce the paper's headline experiment (Figure 2) in
+// miniature — a contended Treiber stack with and without Lease/Release on
+// an 8-core simulated machine.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"leaserelease"
+)
+
+func run(lease uint64) (opsPerUs float64, stats leaserelease.Stats) {
+	const threads = 8
+	m := leaserelease.New(leaserelease.DefaultConfig(threads))
+	s := leaserelease.NewStack(m.Direct(), leaserelease.StackOptions{Lease: lease})
+
+	var ops uint64
+	for i := 0; i < threads; i++ {
+		m.Spawn(0, func(c *leaserelease.Ctx) {
+			for {
+				if c.Rand().Intn(2) == 0 {
+					s.Push(c, 1)
+				} else {
+					s.Pop(c)
+				}
+				ops++
+			}
+		})
+	}
+	const cycles = 1_000_000 // 1 ms of simulated time at 1 GHz
+	if err := m.Run(cycles); err != nil {
+		panic(err)
+	}
+	m.Stop()
+	return float64(ops) / 1000.0, m.Stats()
+}
+
+func main() {
+	base, baseStats := run(0)
+	leased, leasedStats := run(20_000)
+
+	fmt.Println("Treiber stack, 8 threads, 100% updates, 1 ms simulated:")
+	fmt.Printf("  base:  %7.2f Mops/s   %6.2f msgs/op   %d failed CAS\n",
+		base, float64(baseStats.TotalMsgs())/float64(baseStats.CASSuccesses+1), baseStats.CASFailures)
+	fmt.Printf("  lease: %7.2f Mops/s   %6.2f msgs/op   %d failed CAS\n",
+		leased, float64(leasedStats.TotalMsgs())/float64(leasedStats.CASSuccesses+1), leasedStats.CASFailures)
+	fmt.Printf("  speedup: %.2fx\n", leased/base)
+}

@@ -1,0 +1,3 @@
+module leaserelease
+
+go 1.22

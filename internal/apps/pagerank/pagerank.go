@@ -1,0 +1,226 @@
+// Package pagerank reproduces the paper's Figure 5 (right) application: the
+// lock-based Pagerank of the CRONO benchmark suite [2], in which "the
+// variable corresponding to inaccessible pages in the web graph (around
+// 25%) is protected by a contended lock". Each iteration, every thread
+// adds the rank mass of its dangling (no-outlink) pages into one shared
+// accumulator under a global try-lock — the contention hotspot that the
+// lease removes.
+//
+// Ranks are 34.30 fixed-point words in simulated memory; the graph is a
+// synthetic uniform random web graph in CSR (incoming-edge) form built at
+// setup time.
+package pagerank
+
+import (
+	"leaserelease/internal/locks"
+	"leaserelease/internal/machine"
+	"leaserelease/internal/mem"
+)
+
+// fixed-point scale for ranks.
+const (
+	frac    = 30
+	oneFix  = 1 << frac
+	damping = (85 * oneFix) / 100 // d = 0.85
+)
+
+func mulFix(a, b uint64) uint64 { return (a * b) >> frac }
+
+// Config sizes the synthetic web graph and the run.
+type Config struct {
+	Nodes        int
+	AvgInDegree  int
+	DanglingFrac float64 // fraction of pages with no out-links (paper: ~0.25)
+	Iterations   int
+	Threads      int
+	// LeaseTime leases the dangling-sum lock per critical section
+	// (0 = base implementation).
+	LeaseTime uint64
+}
+
+// DefaultConfig mirrors the paper's setup shape.
+func DefaultConfig(threads int) Config {
+	return Config{
+		Nodes:        512,
+		AvgInDegree:  8,
+		DanglingFrac: 0.25,
+		Iterations:   4,
+		Threads:      threads,
+	}
+}
+
+// Pagerank holds the simulated-memory state of one run.
+type Pagerank struct {
+	cfg Config
+
+	rank     mem.Addr // [n] current ranks
+	next     mem.Addr // [n] next-iteration ranks
+	outDeg   mem.Addr // [n] out-degrees (0 = dangling)
+	rowPtr   mem.Addr // [n+1] CSR offsets of incoming edges
+	colIdx   mem.Addr // [m] incoming-edge sources
+	dangling mem.Addr // shared dangling-rank accumulator (the hotspot)
+
+	lock    locks.TryLock
+	barrier *locks.Barrier
+
+	nEdges int
+}
+
+// New builds the graph and initial ranks via the untimed setup accessor.
+func New(d *machine.Direct, cfg Config) *Pagerank {
+	n := cfg.Nodes
+	p := &Pagerank{cfg: cfg}
+	p.rank = d.Alloc(uint64(8 * n))
+	p.next = d.Alloc(uint64(8 * n))
+	p.outDeg = d.Alloc(uint64(8 * n))
+	p.rowPtr = d.Alloc(uint64(8 * (n + 1)))
+	p.dangling = d.Alloc(8)
+	var inner locks.TryLock = locks.NewTTS(d)
+	if cfg.LeaseTime > 0 {
+		inner = locks.NewLeased(inner, cfg.LeaseTime)
+	}
+	p.lock = inner
+	p.barrier = locks.NewBarrier(d, cfg.Threads)
+
+	// Choose dangling pages, then draw incoming edges whose sources are
+	// non-dangling pages.
+	r := d.Rand()
+	danglingSet := make([]bool, n)
+	nDangling := int(float64(n) * cfg.DanglingFrac)
+	for c := 0; c < nDangling; {
+		i := r.Intn(n)
+		if !danglingSet[i] {
+			danglingSet[i] = true
+			c++
+		}
+	}
+	var sources []int
+	for i := 0; i < n; i++ {
+		if !danglingSet[i] {
+			sources = append(sources, i)
+		}
+	}
+	inEdges := make([][]int, n)
+	outDeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		k := 1 + r.Intn(2*cfg.AvgInDegree-1)
+		for e := 0; e < k; e++ {
+			u := sources[r.Intn(len(sources))]
+			inEdges[v] = append(inEdges[v], u)
+			outDeg[u]++
+			p.nEdges++
+		}
+	}
+	p.colIdx = d.Alloc(uint64(8 * p.nEdges))
+	off := 0
+	initRank := uint64(oneFix / uint64(n))
+	for v := 0; v < n; v++ {
+		d.Store(p.rowPtr+mem.Addr(8*v), uint64(off))
+		for _, u := range inEdges[v] {
+			d.Store(p.colIdx+mem.Addr(8*off), uint64(u))
+			off++
+		}
+		d.Store(p.outDeg+mem.Addr(8*v), uint64(outDeg[v]))
+		d.Store(p.rank+mem.Addr(8*v), initRank)
+	}
+	d.Store(p.rowPtr+mem.Addr(8*n), uint64(off))
+	return p
+}
+
+// Run executes all iterations as thread tid (0-based). Every configured
+// thread must call Run concurrently. It returns the number of dangling
+// critical sections this thread executed.
+func (p *Pagerank) Run(x machine.API, tid int) int {
+	n := p.cfg.Nodes
+	h := p.barrier.NewHandle()
+	lo := tid * n / p.cfg.Threads
+	hi := (tid + 1) * n / p.cfg.Threads
+	criticals := 0
+	for it := 0; it < p.cfg.Iterations; it++ {
+		// Phase A: accumulate dangling rank mass under the global lock —
+		// one critical section per owned dangling page, as in CRONO.
+		for v := lo; v < hi; v++ {
+			if x.Load(p.outDeg+mem.Addr(8*v)) == 0 {
+				p.lock.Lock(x)
+				x.Store(p.dangling, x.Load(p.dangling)+x.Load(p.rank+mem.Addr(8*v)))
+				p.lock.Unlock(x)
+				criticals++
+			}
+		}
+		p.barrier.Wait(x, h)
+
+		// Phase B: pull-style rank update over incoming edges.
+		dShare := mulFix(damping, x.Load(p.dangling)) / uint64(n)
+		base := (oneFix - damping) / uint64(n)
+		for v := lo; v < hi; v++ {
+			start := x.Load(p.rowPtr + mem.Addr(8*v))
+			end := x.Load(p.rowPtr + mem.Addr(8*(v+1)))
+			var sum uint64
+			for e := start; e < end; e++ {
+				u := x.Load(p.colIdx + mem.Addr(8*e))
+				sum += x.Load(p.rank+mem.Addr(8*u)) / x.Load(p.outDeg+mem.Addr(8*u))
+			}
+			x.Store(p.next+mem.Addr(8*v), base+mulFix(damping, sum)+dShare)
+		}
+		p.barrier.Wait(x, h)
+
+		// Phase C: publish next -> rank; thread 0 resets the accumulator.
+		for v := lo; v < hi; v++ {
+			x.Store(p.rank+mem.Addr(8*v), x.Load(p.next+mem.Addr(8*v)))
+		}
+		if tid == 0 {
+			x.Store(p.dangling, 0)
+		}
+		p.barrier.Wait(x, h)
+	}
+	return criticals
+}
+
+// Ranks reads back all ranks as float64 (test oracle).
+func (p *Pagerank) Ranks(d *machine.Direct) []float64 {
+	out := make([]float64, p.cfg.Nodes)
+	for v := range out {
+		out[v] = float64(d.Load(p.rank+mem.Addr(8*v))) / float64(oneFix)
+	}
+	return out
+}
+
+// Reference computes the same fixed-point iteration sequentially in Go
+// (test oracle).
+func (p *Pagerank) Reference(d *machine.Direct) []float64 {
+	n := p.cfg.Nodes
+	rank := make([]uint64, n)
+	next := make([]uint64, n)
+	outDeg := make([]uint64, n)
+	rowPtr := make([]uint64, n+1)
+	for v := 0; v < n; v++ {
+		rank[v] = uint64(oneFix / uint64(n))
+		outDeg[v] = d.Load(p.outDeg + mem.Addr(8*v))
+		rowPtr[v] = d.Load(p.rowPtr + mem.Addr(8*v))
+	}
+	rowPtr[n] = d.Load(p.rowPtr + mem.Addr(8*n))
+	for it := 0; it < p.cfg.Iterations; it++ {
+		var dangling uint64
+		for v := 0; v < n; v++ {
+			if outDeg[v] == 0 {
+				dangling += rank[v]
+			}
+		}
+		dShare := mulFix(damping, dangling) / uint64(n)
+		base := (oneFix - damping) / uint64(n)
+		for v := 0; v < n; v++ {
+			var sum uint64
+			for e := rowPtr[v]; e < rowPtr[v+1]; e++ {
+				u := d.Load(p.colIdx + mem.Addr(8*e))
+				sum += rank[u] / outDeg[u]
+			}
+			next[v] = base + mulFix(damping, sum) + dShare
+		}
+		copy(rank, next)
+	}
+	out := make([]float64, n)
+	for v := range out {
+		out[v] = float64(rank[v]) / float64(oneFix)
+	}
+	return out
+}

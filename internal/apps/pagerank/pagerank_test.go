@@ -1,0 +1,111 @@
+package pagerank
+
+import (
+	"math"
+	"testing"
+
+	"leaserelease/internal/machine"
+)
+
+func run(t *testing.T, threads int, leaseTime uint64) (*machine.Machine, *Pagerank) {
+	t.Helper()
+	m := machine.New(machine.DefaultConfig(threads))
+	cfg := DefaultConfig(threads)
+	cfg.Nodes = 128
+	cfg.Iterations = 3
+	cfg.LeaseTime = leaseTime
+	p := New(m.Direct(), cfg)
+	for i := 0; i < threads; i++ {
+		i := i
+		m.Spawn(0, func(c *machine.Ctx) { p.Run(c, i) })
+	}
+	if err := m.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	return m, p
+}
+
+func TestPagerankMatchesReference(t *testing.T) {
+	for _, threads := range []int{1, 4} {
+		for _, lease := range []uint64{0, 20000} {
+			m, p := run(t, threads, lease)
+			got := p.Ranks(m.Direct())
+			want := p.Reference(m.Direct())
+			for v := range got {
+				if got[v] != want[v] {
+					t.Fatalf("threads=%d lease=%d: rank[%d] = %v, want %v",
+						threads, lease, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestPagerankRanksSumToOne(t *testing.T) {
+	m, p := run(t, 4, 20000)
+	var sum float64
+	for _, r := range p.Ranks(m.Direct()) {
+		if r <= 0 {
+			t.Fatal("non-positive rank")
+		}
+		sum += r
+	}
+	// Fixed-point truncation loses a little mass each iteration; the
+	// dangling redistribution keeps most of it.
+	if math.Abs(sum-1) > 0.05 {
+		t.Fatalf("rank sum = %v, want ~1", sum)
+	}
+}
+
+func TestPagerankDanglingContention(t *testing.T) {
+	// The dangling accumulator must actually be contended: with 4 threads
+	// the lock sees one critical section per dangling page per iteration.
+	m := machine.New(machine.DefaultConfig(4))
+	cfg := DefaultConfig(4)
+	cfg.Nodes = 128
+	cfg.Iterations = 2
+	p := New(m.Direct(), cfg)
+	crit := make([]int, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		m.Spawn(0, func(c *machine.Ctx) { crit[i] = p.Run(c, i) })
+	}
+	if err := m.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range crit {
+		total += c
+	}
+	wantPerIter := int(float64(cfg.Nodes) * cfg.DanglingFrac)
+	if total != wantPerIter*cfg.Iterations {
+		t.Fatalf("critical sections = %d, want %d", total, wantPerIter*cfg.Iterations)
+	}
+}
+
+// TestPagerankLeaseSpeedup reproduces Figure 5 (right)'s direction: the
+// leased dangling lock speeds up the whole application at high thread
+// counts.
+func TestPagerankLeaseSpeedup(t *testing.T) {
+	duration := func(leaseTime uint64) uint64 {
+		m := machine.New(machine.DefaultConfig(16))
+		cfg := DefaultConfig(16)
+		cfg.Nodes = 512
+		cfg.Iterations = 2
+		cfg.LeaseTime = leaseTime
+		p := New(m.Direct(), cfg)
+		for i := 0; i < 16; i++ {
+			i := i
+			m.Spawn(0, func(c *machine.Ctx) { p.Run(c, i) })
+		}
+		if err := m.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		return m.Now()
+	}
+	base := duration(0)
+	leased := duration(20000)
+	if leased >= base {
+		t.Fatalf("leased pagerank %d cycles >= base %d cycles at 16 threads", leased, base)
+	}
+}

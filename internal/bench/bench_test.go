@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"leaserelease/internal/ds"
+	"leaserelease/internal/machine"
+)
+
+func TestThroughputBasics(t *testing.T) {
+	r := Throughput(machine.DefaultConfig(4), 4, 20_000, 100_000, StackWorkload(ds.StackOptions{Lease: LeaseTime}))
+	if r.Ops == 0 {
+		t.Fatal("no ops measured")
+	}
+	if r.Cycles != 100_000 {
+		t.Fatalf("window = %d cycles, want 100000", r.Cycles)
+	}
+	if r.MopsPerSec <= 0 || r.NJPerOp <= 0 || r.MsgsPerOp <= 0 {
+		t.Fatalf("bad derived metrics: %+v", r)
+	}
+}
+
+func TestThroughputDeterministic(t *testing.T) {
+	run := func() Result {
+		return Throughput(machine.DefaultConfig(4), 4, 20_000, 100_000, QueueWorkload(ds.QueueSingleLease))
+	}
+	a, b := run(), run()
+	if a.Ops != b.Ops || a.Window.TotalMsgs() != b.Window.TotalMsgs() {
+		t.Fatalf("nondeterministic benchmark: %v vs %v ops", a.Ops, b.Ops)
+	}
+}
+
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: runs every experiment at quick scale")
+	}
+	p := Params{Threads: []int{2, 4}, Warm: 20_000, Window: 60_000}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			e.Run(&buf, p)
+			out := buf.String()
+			if !strings.Contains(out, "---") {
+				t.Fatalf("experiment %s produced no table:\n%s", e.ID, out)
+			}
+			if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+				t.Fatalf("experiment %s produced NaN/Inf:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestFindExperiment(t *testing.T) {
+	if _, ok := Find("fig2"); !ok {
+		t.Fatal("fig2 not found")
+	}
+	if _, ok := Find("nope"); ok {
+		t.Fatal("bogus id found")
+	}
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if ids[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	var buf bytes.Buffer
+	tb := NewTable("a", "bee")
+	tb.Row(1, 2.5)
+	tb.Row("long-cell", 3)
+	tb.Print(&buf)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d, want 4:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "a") || !strings.Contains(lines[0], "bee") {
+		t.Fatalf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "2.500") {
+		t.Fatalf("float formatting wrong: %q", lines[2])
+	}
+}
+
+// TestFig2Shape verifies the headline result's direction at bench scale:
+// leases must win clearly under contention (8 threads) and not lose
+// meaningfully without it (1 thread).
+func TestFig2Shape(t *testing.T) {
+	warm, window := uint64(50_000), uint64(300_000)
+	base8 := Throughput(machine.DefaultConfig(8), 8, warm, window, StackWorkload(ds.StackOptions{}))
+	lease8 := Throughput(machine.DefaultConfig(8), 8, warm, window, StackWorkload(ds.StackOptions{Lease: LeaseTime}))
+	if lease8.MopsPerSec < 1.2*base8.MopsPerSec {
+		t.Fatalf("8-thread lease %.2f vs base %.2f: expected a clear win",
+			lease8.MopsPerSec, base8.MopsPerSec)
+	}
+	base1 := Throughput(machine.DefaultConfig(1), 1, warm, window, StackWorkload(ds.StackOptions{}))
+	lease1 := Throughput(machine.DefaultConfig(1), 1, warm, window, StackWorkload(ds.StackOptions{Lease: LeaseTime}))
+	if lease1.MopsPerSec < 0.8*base1.MopsPerSec {
+		t.Fatalf("1-thread lease %.2f vs base %.2f: uncontended overhead too high",
+			lease1.MopsPerSec, base1.MopsPerSec)
+	}
+}

@@ -1,0 +1,427 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"leaserelease/internal/ds"
+	"leaserelease/internal/locks"
+	"leaserelease/internal/machine"
+	"leaserelease/internal/multiqueue"
+	"leaserelease/internal/stm"
+)
+
+// Params controls the scale of an experiment sweep.
+type Params struct {
+	Threads []int  // thread counts to sweep
+	Warm    uint64 // warmup cycles
+	Window  uint64 // measurement window cycles
+}
+
+// FullParams reproduces the paper's sweeps (2..64 threads, Fig. 2 also 1).
+func FullParams() Params {
+	return Params{Threads: []int{2, 4, 8, 16, 32, 64}, Warm: 300_000, Window: 1_500_000}
+}
+
+// QuickParams is a fast smoke-scale sweep for tests and `-quick`.
+func QuickParams() Params {
+	return Params{Threads: []int{2, 8}, Warm: 50_000, Window: 200_000}
+}
+
+// Experiment regenerates one table or figure of the paper.
+type Experiment struct {
+	ID    string // e.g. "fig2"
+	Paper string // what it reproduces
+	Run   func(w io.Writer, p Params)
+}
+
+// All returns every experiment in the paper order of DESIGN.md's index.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Table 1: system configuration", runTable1},
+		{"fig2", "Figure 2: Treiber stack throughput, with and without leases", runFig2},
+		{"fig3-counter", "Figure 3: lock-based counter throughput and energy", runFig3Counter},
+		{"fig3-queue", "Figure 3: Michael-Scott queue throughput and energy", runFig3Queue},
+		{"fig3-pq", "Figure 3: skiplist priority queue throughput and energy", runFig3PQ},
+		{"fig4-mq", "Figure 4: MultiQueues throughput and energy", runFig4MQ},
+		{"fig4-tl2", "Figure 4: TL2 transactions throughput, energy, aborts", runFig4TL2},
+		{"fig5-swhw", "Figure 5 left: hardware vs software MultiLeases (TL2)", runFig5SwHw},
+		{"fig5-pagerank", "Figure 5 right: lock-based Pagerank", runFig5Pagerank},
+		{"text-backoff", "§7 text: backoff comparison on the stack", runTextBackoff},
+		{"text-lowcontention", "§7 text: low-contention structures, 20% updates", runTextLowContention},
+		{"text-constmiss", "§7 text: misses and messages per op stay constant", runTextConstMiss},
+		{"ablate-leasetime", "§7 text: MAX_LEASE_TIME 1K vs 20K cycles", runAblateLeaseTime},
+		{"ablate-priority", "§5: prioritization (regular requests break leases)", runAblatePriority},
+		{"ablate-mesi", "§8: MESI exclusive-clean fills vs plain MSI", runAblateMESI},
+		{"ablate-predictor", "§5: speculative predictor skips always-expiring leases", runAblatePredictor},
+		{"ablate-autolease", "§8 future work: automatic lease insertion on the plain stack", runAblateAutoLease},
+		{"snapshot", "§5: cheap lock-free snapshots vs double-collect", runSnapshot},
+	}
+}
+
+// Find returns the experiment with the given id.
+func Find(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+func cfgFor(threads int) machine.Config { return machine.DefaultConfig(threads) }
+
+func runTable1(w io.Writer, p Params) {
+	cfg := machine.DefaultConfig(64)
+	t := NewTable("parameter", "value")
+	t.Row("Core model", fmt.Sprintf("%.0f GHz, in-order, 1-cycle L1", float64(cfg.ClockHz)/1e9))
+	t.Row("L1-D cache per tile", fmt.Sprintf("%d KB, %d-way, %d cycle", cfg.L1.SizeBytes/1024, cfg.L1.Ways, cfg.L1HitLat))
+	t.Row("L2 tag/data latency", fmt.Sprintf("%d/%d cycles", cfg.Timing.L2Tag, cfg.Timing.L2Data))
+	t.Row("Network hop", fmt.Sprintf("%d cycles (+0..%d jitter)", cfg.Timing.Net, cfg.Timing.NetJitter))
+	t.Row("DRAM (cold fill)", fmt.Sprintf("%d cycles", cfg.Timing.DRAM))
+	t.Row("Cache line", "64 bytes")
+	t.Row("Coherence protocol", "MSI directory, private L1 / shared L2, per-line FIFO queues")
+	t.Row("MAX_LEASE_TIME", fmt.Sprintf("%d cycles", cfg.Lease.MaxLeaseTime))
+	t.Row("MAX_NUM_LEASES", cfg.Lease.MaxNumLeases)
+	t.Print(w)
+}
+
+func runFig2(w io.Writer, p Params) {
+	t := NewTable("threads", "base Mops/s", "lease Mops/s", "speedup", "base miss/op", "lease miss/op")
+	threads := p.Threads
+	if threads[0] != 1 {
+		threads = append([]int{1}, threads...)
+	}
+	for _, n := range threads {
+		base := Throughput(cfgFor(n), n, p.Warm, p.Window, StackWorkload(ds.StackOptions{}))
+		lease := Throughput(cfgFor(n), n, p.Warm, p.Window, StackWorkload(ds.StackOptions{Lease: LeaseTime}))
+		t.Row(n, base.MopsPerSec, lease.MopsPerSec, ratio(lease.MopsPerSec, base.MopsPerSec),
+			base.MissesPerOp, lease.MissesPerOp)
+	}
+	t.Print(w)
+}
+
+func runFig3Counter(w io.Writer, p Params) {
+	t := NewTable("threads",
+		"tts Mops/s", "lease Mops/s", "ticket Mops/s", "clh Mops/s",
+		"tts nJ/op", "lease nJ/op")
+	for _, n := range p.Threads {
+		tts := Throughput(cfgFor(n), n, p.Warm, p.Window, CounterWorkload(CounterTTS))
+		lease := Throughput(cfgFor(n), n, p.Warm, p.Window, CounterWorkload(CounterLeasedTTS))
+		ticket := Throughput(cfgFor(n), n, p.Warm, p.Window, CounterWorkload(CounterTicket))
+		clh := Throughput(cfgFor(n), n, p.Warm, p.Window, CounterWorkload(CounterCLH))
+		t.Row(n, tts.MopsPerSec, lease.MopsPerSec, ticket.MopsPerSec, clh.MopsPerSec,
+			tts.NJPerOp, lease.NJPerOp)
+	}
+	t.Print(w)
+}
+
+func runFig3Queue(w io.Writer, p Params) {
+	t := NewTable("threads",
+		"base Mops/s", "lease Mops/s", "multi Mops/s", "flatcomb Mops/s", "lcrq Mops/s",
+		"base nJ/op", "lease nJ/op")
+	for _, n := range p.Threads {
+		base := Throughput(cfgFor(n), n, p.Warm, p.Window, QueueWorkload(ds.QueueNoLease))
+		single := Throughput(cfgFor(n), n, p.Warm, p.Window, QueueWorkload(ds.QueueSingleLease))
+		multi := Throughput(cfgFor(n), n, p.Warm, p.Window, QueueWorkload(ds.QueueMultiLease))
+		fc := Throughput(cfgFor(n), n, p.Warm, p.Window, FCQueueWorkload(n))
+		lcrq := Throughput(cfgFor(n), n, p.Warm, p.Window, LCRQWorkload())
+		t.Row(n, base.MopsPerSec, single.MopsPerSec, multi.MopsPerSec, fc.MopsPerSec,
+			lcrq.MopsPerSec, base.NJPerOp, single.NJPerOp)
+	}
+	t.Print(w)
+}
+
+func runFig3PQ(w io.Writer, p Params) {
+	t := NewTable("threads",
+		"fine Mops/s", "global Mops/s", "lease Mops/s",
+		"fine nJ/op", "lease nJ/op")
+	for _, n := range p.Threads {
+		fine := Throughput(cfgFor(n), n, p.Warm, p.Window, PQWorkload(PQFineLocking, 512))
+		glob := Throughput(cfgFor(n), n, p.Warm, p.Window, PQWorkload(PQGlobalBase, 512))
+		lease := Throughput(cfgFor(n), n, p.Warm, p.Window, PQWorkload(PQGlobalLeased, 512))
+		t.Row(n, fine.MopsPerSec, glob.MopsPerSec, lease.MopsPerSec,
+			fine.NJPerOp, lease.NJPerOp)
+	}
+	t.Print(w)
+}
+
+func runFig4MQ(w io.Writer, p Params) {
+	t := NewTable("threads", "base Mops/s", "lease Mops/s", "speedup", "base nJ/op", "lease nJ/op")
+	for _, n := range p.Threads {
+		base := Throughput(cfgFor(n), n, p.Warm, p.Window, MQWorkload(multiqueue.Options{}))
+		lease := Throughput(cfgFor(n), n, p.Warm, p.Window, MQWorkload(multiqueue.Options{LeaseTime: LeaseTime}))
+		t.Row(n, base.MopsPerSec, lease.MopsPerSec, ratio(lease.MopsPerSec, base.MopsPerSec),
+			base.NJPerOp, lease.NJPerOp)
+	}
+	t.Print(w)
+}
+
+func runFig4TL2(w io.Writer, p Params) {
+	t := NewTable("threads",
+		"base Mtx/s", "multi Mtx/s", "single Mtx/s",
+		"base aborts/tx", "multi aborts/tx", "base nJ/tx", "multi nJ/tx")
+	for _, n := range p.Threads {
+		base := tl2Run(p, n, stm.NoLease)
+		multi := tl2Run(p, n, stm.HWMulti)
+		single := tl2Run(p, n, stm.SingleFirst)
+		t.Row(n, base.MopsPerSec, multi.MopsPerSec, single.MopsPerSec,
+			base.AbortsPerOp, multi.AbortsPerOp, base.NJPerOp, multi.NJPerOp)
+	}
+	t.Print(w)
+}
+
+func tl2Run(p Params, n int, mode stm.LeaseMode) Result {
+	var aborts uint64
+	r := Throughput(cfgFor(n), n, p.Warm, p.Window, TL2Workload(mode, &aborts))
+	// aborts accumulated over warm+window; approximate the window share.
+	if r.Ops > 0 {
+		frac := float64(p.Window) / float64(p.Warm+p.Window)
+		r.AbortsPerOp = float64(aborts) * frac / float64(r.Ops)
+	}
+	return r
+}
+
+func runFig5SwHw(w io.Writer, p Params) {
+	t := NewTable("threads", "hw Mtx/s", "sw Mtx/s", "hw/sw", "hw aborts/tx", "sw aborts/tx")
+	for _, n := range p.Threads {
+		hw := tl2Run(p, n, stm.HWMulti)
+		sw := tl2Run(p, n, stm.SWMulti)
+		t.Row(n, hw.MopsPerSec, sw.MopsPerSec, ratio(hw.MopsPerSec, sw.MopsPerSec),
+			hw.AbortsPerOp, sw.AbortsPerOp)
+	}
+	t.Print(w)
+}
+
+func runFig5Pagerank(w io.Writer, p Params) {
+	t := NewTable("threads", "base Mcycles", "lease Mcycles", "speedup")
+	nodes, iters := 1024, 3
+	if p.Window <= QuickParams().Window {
+		nodes, iters = 256, 2
+	}
+	for _, n := range p.Threads {
+		if n > 32 {
+			continue // the paper evaluates Pagerank up to 32 threads
+		}
+		baseCyc, _ := PagerankRun(cfgFor(n), n, 0, nodes, iters)
+		leaseCyc, _ := PagerankRun(cfgFor(n), n, LeaseTime, nodes, iters)
+		t.Row(n, float64(baseCyc)/1e6, float64(leaseCyc)/1e6,
+			ratio(float64(baseCyc), float64(leaseCyc)))
+	}
+	t.Print(w)
+}
+
+func runTextBackoff(w io.Writer, p Params) {
+	t := NewTable("threads", "base Mops/s", "backoff Mops/s", "tuned-backoff Mops/s",
+		"elimination Mops/s", "flatcomb Mops/s", "lease Mops/s")
+	for _, n := range p.Threads {
+		base := Throughput(cfgFor(n), n, p.Warm, p.Window, StackWorkload(ds.StackOptions{}))
+		bo := Throughput(cfgFor(n), n, p.Warm, p.Window,
+			StackWorkload(ds.StackOptions{Backoff: ds.Backoff{Min: 32, Max: 4096}}))
+		tuned := Throughput(cfgFor(n), n, p.Warm, p.Window,
+			StackWorkload(ds.StackOptions{Backoff: ds.Backoff{Min: 64, Max: 64 * uint64(n)}}))
+		elim := Throughput(cfgFor(n), n, p.Warm, p.Window, EliminationStackWorkload())
+		fc := Throughput(cfgFor(n), n, p.Warm, p.Window, FCStackWorkload(n))
+		lease := Throughput(cfgFor(n), n, p.Warm, p.Window, StackWorkload(ds.StackOptions{Lease: LeaseTime}))
+		t.Row(n, base.MopsPerSec, bo.MopsPerSec, tuned.MopsPerSec, elim.MopsPerSec,
+			fc.MopsPerSec, lease.MopsPerSec)
+	}
+	t.Print(w)
+}
+
+func runTextLowContention(w io.Writer, p Params) {
+	// The paper's observation concerns relative deltas ("throughput is
+	// the same... ≤5%"), so this sweep halves the window and skips tiny
+	// thread counts to keep seven structures tractable.
+	t := NewTable("structure", "threads", "base Mops/s", "lease Mops/s", "delta %")
+	keyRange, prefill := 512, 256
+	window := p.Window / 2
+	for _, kind := range AllSetKinds() {
+		for _, n := range p.Threads {
+			if n < 4 && len(p.Threads) > 2 {
+				continue
+			}
+			base := Throughput(cfgFor(n), n, p.Warm, window, SetWorkload(kind, 0, keyRange, prefill))
+			lease := Throughput(cfgFor(n), n, p.Warm, window, SetWorkload(kind, LeaseTime, keyRange, prefill))
+			t.Row(kind.String(), n, base.MopsPerSec, lease.MopsPerSec,
+				100*(lease.MopsPerSec-base.MopsPerSec)/base.MopsPerSec)
+		}
+	}
+	t.Print(w)
+}
+
+func runTextConstMiss(w io.Writer, p Params) {
+	t := NewTable("threads", "base miss/op", "lease miss/op", "base msgs/op", "lease msgs/op")
+	for _, n := range p.Threads {
+		base := Throughput(cfgFor(n), n, p.Warm, p.Window, StackWorkload(ds.StackOptions{}))
+		lease := Throughput(cfgFor(n), n, p.Warm, p.Window, StackWorkload(ds.StackOptions{Lease: LeaseTime}))
+		t.Row(n, base.MissesPerOp, lease.MissesPerOp, base.MsgsPerOp, lease.MsgsPerOp)
+	}
+	t.Print(w)
+}
+
+func runAblateLeaseTime(w io.Writer, p Params) {
+	// Part 1 (the paper's claim): the stack's misses/op stay constant
+	// even with MAX_LEASE_TIME reduced from 20K to 1K cycles, because
+	// releases are voluntary long before the bound.
+	t := NewTable("threads", "20K Mops/s", "1K Mops/s", "20K miss/op", "1K miss/op", "1K invol-rel/op")
+	for _, n := range p.Threads {
+		long := Throughput(cfgFor(n), n, p.Warm, p.Window, StackWorkload(ds.StackOptions{Lease: 20000}))
+		cfgShort := cfgFor(n)
+		cfgShort.Lease.MaxLeaseTime = 1000
+		short := Throughput(cfgShort, n, p.Warm, p.Window, StackWorkload(ds.StackOptions{Lease: 1000}))
+		invol := float64(short.Window.InvoluntaryReleases) / float64(max64(short.Ops, 1))
+		t.Row(n, long.MopsPerSec, short.MopsPerSec, long.MissesPerOp, short.MissesPerOp, invol)
+	}
+	t.Print(w)
+	fmt.Fprintln(w)
+	// Part 2: when the critical section exceeds MAX_LEASE_TIME (leased
+	// lock held ~300 cycles, bound 100), leases expire involuntarily and
+	// the benefit degrades toward the base — the bound is load-bearing.
+	longCS := func(maxLease, leaseTime uint64) func(d *machine.Direct) OpFunc {
+		return func(d *machine.Direct) OpFunc {
+			l := locks.NewLeased(locks.NewTTS(d), leaseTime)
+			ctr := d.Alloc(8)
+			return func(tid int, c *machine.Ctx) {
+				l.Lock(c)
+				c.Store(ctr, c.Load(ctr)+1)
+				c.Work(300)
+				l.Unlock(c)
+				jitter(c)
+			}
+		}
+	}
+	t2 := NewTable("threads", "bound 20K Mops/s", "bound 100 Mops/s", "bound-100 invol-rel/op")
+	for _, n := range p.Threads {
+		ok := Throughput(cfgFor(n), n, p.Warm, p.Window, longCS(20000, 20000))
+		cfgTight := cfgFor(n)
+		cfgTight.Lease.MaxLeaseTime = 100
+		tight := Throughput(cfgTight, n, p.Warm, p.Window, longCS(100, 100))
+		t2.Row(n, ok.MopsPerSec, tight.MopsPerSec,
+			float64(tight.Window.InvoluntaryReleases)/float64(max64(tight.Ops, 1)))
+	}
+	t2.Print(w)
+}
+
+func runAblatePriority(w io.Writer, p Params) {
+	// §7 "Observations and Limitations": a thread that leases a lock
+	// already owned by another thread and is slow to drop the lease
+	// delays the owner's unlock. The prioritization mechanism (§5) lets
+	// the owner's regular store break such leases. This workload makes
+	// waiters improperly hold the lease for a while after a failed
+	// try-lock, with and without prioritization.
+	t := NewTable("threads", "queueing Mops/s", "breaking Mops/s", "speedup", "broken/op")
+	for _, n := range p.Threads {
+		plain := Throughput(cfgFor(n), n, p.Warm, p.Window, ImproperLockWorkload())
+		cfgBrk := cfgFor(n)
+		cfgBrk.RegularBreaksLease = true
+		brk := Throughput(cfgBrk, n, p.Warm, p.Window, ImproperLockWorkload())
+		t.Row(n, plain.MopsPerSec, brk.MopsPerSec, ratio(brk.MopsPerSec, plain.MopsPerSec),
+			float64(brk.Window.BrokenLeases)/float64(max64(brk.Ops, 1)))
+	}
+	t.Print(w)
+}
+
+func runAblateMESI(w io.Writer, p Params) {
+	// MESI helps read-then-write patterns most: the low-contention sets
+	// (search, then update in place) and the base stack's load-then-CAS.
+	t := NewTable("workload", "threads", "msi Mops/s", "mesi Mops/s", "delta %")
+	for _, n := range p.Threads {
+		msi := Throughput(cfgFor(n), n, p.Warm, p.Window, SetWorkload(SetHash, 0, 1024, 512))
+		cfgM := cfgFor(n)
+		cfgM.MESI = true
+		mesi := Throughput(cfgM, n, p.Warm, p.Window, SetWorkload(SetHash, 0, 1024, 512))
+		t.Row("hashtable", n, msi.MopsPerSec, mesi.MopsPerSec,
+			100*(mesi.MopsPerSec-msi.MopsPerSec)/msi.MopsPerSec)
+	}
+	for _, n := range p.Threads {
+		msi := Throughput(cfgFor(n), n, p.Warm, p.Window, StackWorkload(ds.StackOptions{}))
+		cfgM := cfgFor(n)
+		cfgM.MESI = true
+		mesi := Throughput(cfgM, n, p.Warm, p.Window, StackWorkload(ds.StackOptions{}))
+		t.Row("stack-base", n, msi.MopsPerSec, mesi.MopsPerSec,
+			100*(mesi.MopsPerSec-msi.MopsPerSec)/msi.MopsPerSec)
+	}
+	t.Print(w)
+}
+
+func runAblatePredictor(w io.Writer, p Params) {
+	// A pathological lease site: the leased critical window always
+	// outlives MAX_LEASE_TIME, so every lease expires involuntarily and
+	// only adds deferral latency. The §5 predictor learns to skip it.
+	t := NewTable("threads", "no-lease Mops/s", "bad-lease Mops/s", "predictor Mops/s", "ignored/op")
+	pathological := func(lease bool) func(d *machine.Direct) OpFunc {
+		return func(d *machine.Direct) OpFunc {
+			a := d.Alloc(8)
+			return func(tid int, c *machine.Ctx) {
+				if lease {
+					c.LeaseAt(1, a, 300)
+				}
+				v := c.Load(a)
+				c.Work(1500)
+				c.CAS(a, v, v+1)
+				if lease {
+					c.Release(a)
+				}
+			}
+		}
+	}
+	for _, n := range p.Threads {
+		cfgBase := cfgFor(n)
+		cfgBase.Lease.MaxLeaseTime = 300
+		base := Throughput(cfgBase, n, p.Warm, p.Window, pathological(false))
+		bad := Throughput(cfgBase, n, p.Warm, p.Window, pathological(true))
+		cfgPred := cfgBase
+		cfgPred.Predictor.Enable = true
+		pred := Throughput(cfgPred, n, p.Warm, p.Window, pathological(true))
+		t.Row(n, base.MopsPerSec, bad.MopsPerSec, pred.MopsPerSec,
+			float64(pred.Window.IgnoredLeases)/float64(max64(pred.Ops, 1)))
+	}
+	t.Print(w)
+}
+
+func runAblateAutoLease(w io.Writer, p Params) {
+	// The plain (lease-free) Treiber stack run through the Auto wrapper:
+	// automatic insertion should recover most of the manual-lease win
+	// without touching the data structure code.
+	t := NewTable("threads", "base Mops/s", "auto Mops/s", "manual Mops/s", "auto/manual")
+	for _, n := range p.Threads {
+		base := Throughput(cfgFor(n), n, p.Warm, p.Window, StackWorkload(ds.StackOptions{}))
+		auto := Throughput(cfgFor(n), n, p.Warm, p.Window, AutoStackWorkload())
+		manual := Throughput(cfgFor(n), n, p.Warm, p.Window, StackWorkload(ds.StackOptions{Lease: LeaseTime}))
+		t.Row(n, base.MopsPerSec, auto.MopsPerSec, manual.MopsPerSec,
+			ratio(auto.MopsPerSec, manual.MopsPerSec))
+	}
+	t.Print(w)
+}
+
+func runSnapshot(w io.Writer, p Params) {
+	// Half the threads write all words under a joint lease; half take
+	// 4-word snapshots. Snapshot counts/rounds are over warm+window.
+	t := NewTable("threads", "lease snaps", "dcollect snaps", "lease rounds/snap", "dcollect rounds/snap")
+	for _, n := range p.Threads {
+		if n < 2 {
+			continue
+		}
+		var la, ls, da, dsnaps uint64
+		Throughput(cfgFor(n), n, p.Warm, p.Window, SnapshotWorkload(true, 4, &la, &ls))
+		Throughput(cfgFor(n), n, p.Warm, p.Window, SnapshotWorkload(false, 4, &da, &dsnaps))
+		t.Row(n, ls, dsnaps,
+			float64(la)/float64(max64(ls, 1)), float64(da)/float64(max64(dsnaps, 1)))
+	}
+	t.Print(w)
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,125 @@
+// Package bench is the benchmark harness that regenerates every table and
+// figure of the paper's evaluation (§7): workload generators, thread
+// sweeps, and text-table reporters. See DESIGN.md's experiment index for
+// the paper-to-experiment mapping.
+package bench
+
+import (
+	"fmt"
+
+	"leaserelease/internal/machine"
+)
+
+// OpFunc performs one data structure operation on behalf of thread tid.
+type OpFunc func(tid int, c *machine.Ctx)
+
+// Result summarizes one measurement window.
+type Result struct {
+	Threads uint64
+	Ops     uint64
+	Cycles  uint64
+	Window  machine.Stats
+
+	MopsPerSec    float64 // million operations per wall-clock second at ClockHz
+	NJPerOp       float64
+	MissesPerOp   float64
+	MsgsPerOp     float64
+	CASFailsPerOp float64
+	AbortsPerOp   float64 // filled by STM workloads
+
+	// Fairness is minOps/maxOps across threads in the window (1 = perfect;
+	// 0 = some thread starved). Lease queueing tends to raise it.
+	Fairness float64
+}
+
+// Throughput runs a standard throughput benchmark: build the structure,
+// spawn `threads` workers looping op, warm up, then measure a window.
+// Optional hooks run on the freshly built machine (e.g. to install a
+// tracer) before any thread is spawned.
+func Throughput(cfg machine.Config, threads int, warm, window uint64,
+	build func(d *machine.Direct) OpFunc, hooks ...func(*machine.Machine)) Result {
+
+	m := machine.New(cfg)
+	for _, h := range hooks {
+		h(m)
+	}
+	op := build(m.Direct())
+	counts := make([]uint64, threads)
+	for i := 0; i < threads; i++ {
+		i := i
+		m.Spawn(0, func(c *machine.Ctx) {
+			for {
+				op(i, c)
+				counts[i]++
+			}
+		})
+	}
+	mustRun(m, warm)
+	start := m.Stats()
+	startCounts := append([]uint64(nil), counts...)
+	mustRun(m, warm+window)
+	w := m.Stats().Sub(start)
+	var ops, minT, maxT uint64
+	minT = ^uint64(0)
+	for i := range counts {
+		d := counts[i] - startCounts[i]
+		ops += d
+		if d < minT {
+			minT = d
+		}
+		if d > maxT {
+			maxT = d
+		}
+	}
+	m.Stop()
+	r := summarize(m.Config(), threads, ops, w)
+	if maxT > 0 {
+		r.Fairness = float64(minT) / float64(maxT)
+	}
+	return r
+}
+
+func summarize(cfg machine.Config, threads int, ops uint64, w machine.Stats) Result {
+	r := Result{Threads: uint64(threads), Ops: ops, Cycles: w.Cycles, Window: w}
+	if w.Cycles == 0 || ops == 0 {
+		return r
+	}
+	seconds := float64(w.Cycles) / float64(cfg.ClockHz)
+	r.MopsPerSec = float64(ops) / seconds / 1e6
+	r.NJPerOp = w.EnergyNJ(cfg.Energy) / float64(ops)
+	r.MissesPerOp = float64(w.L1Misses) / float64(ops)
+	r.MsgsPerOp = float64(w.TotalMsgs()) / float64(ops)
+	r.CASFailsPerOp = float64(w.CASFailures) / float64(ops)
+	return r
+}
+
+func sum(xs []uint64) uint64 {
+	var s uint64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func mustRun(m *machine.Machine, until uint64) {
+	if err := m.Run(until); err != nil {
+		panic(fmt.Sprintf("bench: simulated deadlock: %v", err))
+	}
+}
+
+// RunToCompletion runs a fixed-work program (e.g. Pagerank) and reports
+// the total cycles it took plus the stats.
+func RunToCompletion(cfg machine.Config, threads int,
+	build func(d *machine.Direct) func(tid int, c *machine.Ctx)) (uint64, machine.Stats) {
+
+	m := machine.New(cfg)
+	body := build(m.Direct())
+	for i := 0; i < threads; i++ {
+		i := i
+		m.Spawn(0, func(c *machine.Ctx) { body(i, c) })
+	}
+	if err := m.Drain(); err != nil {
+		panic(fmt.Sprintf("bench: simulated deadlock: %v", err))
+	}
+	return m.Now(), m.Stats()
+}

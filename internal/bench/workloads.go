@@ -1,0 +1,461 @@
+package bench
+
+import (
+	"leaserelease/internal/apps/pagerank"
+	"leaserelease/internal/ds"
+	"leaserelease/internal/locks"
+	"leaserelease/internal/machine"
+	"leaserelease/internal/mem"
+	"leaserelease/internal/multiqueue"
+	"leaserelease/internal/stm"
+)
+
+// LeaseTime is the lease length used by all workloads, matching §7
+// ("MAX_LEASE_TIME ... is set to 20K cycles").
+const LeaseTime = 20000
+
+// jitter desynchronizes op streams a little, like real-world think time.
+func jitter(c *machine.Ctx) { c.Work(c.Rand().Uint64n(32)) }
+
+// StackWorkload: 100% updates, push/pop chosen at random (Figure 2).
+func StackWorkload(opt ds.StackOptions) func(d *machine.Direct) OpFunc {
+	return func(d *machine.Direct) OpFunc {
+		s := ds.NewStack(d, opt)
+		for i := 0; i < 64; i++ {
+			s.Push(d, uint64(i)+1)
+		}
+		return func(tid int, c *machine.Ctx) {
+			if c.Rand().Intn(2) == 0 {
+				s.Push(c, 1)
+			} else {
+				s.Pop(c)
+			}
+			jitter(c)
+		}
+	}
+}
+
+// AutoStackWorkload: the plain lease-free Treiber stack run through the
+// §8 automatic-lease-insertion wrapper (machine.Auto).
+func AutoStackWorkload() func(d *machine.Direct) OpFunc {
+	return func(d *machine.Direct) OpFunc {
+		s := ds.NewStack(d, ds.StackOptions{})
+		for i := 0; i < 64; i++ {
+			s.Push(d, uint64(i)+1)
+		}
+		autos := map[int]*machine.Auto{}
+		return func(tid int, c *machine.Ctx) {
+			a := autos[tid]
+			if a == nil {
+				a = machine.NewAuto(c, LeaseTime)
+				autos[tid] = a
+			}
+			if c.Rand().Intn(2) == 0 {
+				s.Push(a, 1)
+			} else {
+				s.Pop(a)
+			}
+			jitter(c)
+		}
+	}
+}
+
+// FCStackWorkload: the flat-combining stack [18] under the Figure 2
+// workload (the §2 "combining" software mitigation).
+func FCStackWorkload(threads int) func(d *machine.Direct) OpFunc {
+	return func(d *machine.Direct) OpFunc {
+		s := ds.NewFCStack(d, threads)
+		for i := 0; i < 64; i++ {
+			s.Push(d, 0, uint64(i)+1)
+		}
+		return func(tid int, c *machine.Ctx) {
+			if c.Rand().Intn(2) == 0 {
+				s.Push(c, tid, 1)
+			} else {
+				s.Pop(c, tid)
+			}
+			jitter(c)
+		}
+	}
+}
+
+// EliminationStackWorkload: the elimination-backoff stack under the
+// Figure 2 workload (the §2 "elimination" software mitigation).
+func EliminationStackWorkload() func(d *machine.Direct) OpFunc {
+	return func(d *machine.Direct) OpFunc {
+		s := ds.NewEliminationStack(d, 4)
+		for i := 0; i < 64; i++ {
+			s.Push(d, uint64(i)+1)
+		}
+		return func(tid int, c *machine.Ctx) {
+			if c.Rand().Intn(2) == 0 {
+				s.Push(c, 1)
+			} else {
+				s.Pop(c)
+			}
+			jitter(c)
+		}
+	}
+}
+
+// CounterKind selects the Figure 3 counter variant.
+type CounterKind int
+
+const (
+	CounterTTS CounterKind = iota
+	CounterLeasedTTS
+	CounterTicket
+	CounterCLH
+)
+
+// CounterWorkload: a contended lock protecting a counter (Figure 3 left).
+func CounterWorkload(kind CounterKind) func(d *machine.Direct) OpFunc {
+	return func(d *machine.Direct) OpFunc {
+		ctr := d.Alloc(8)
+		inc := func(c *machine.Ctx) { c.Store(ctr, c.Load(ctr)+1) }
+		switch kind {
+		case CounterCLH:
+			l := locks.NewCLH(d)
+			handles := make(map[int]*locks.CLHHandle)
+			return func(tid int, c *machine.Ctx) {
+				h := handles[tid]
+				if h == nil {
+					h = l.NewHandle(c)
+					handles[tid] = h
+				}
+				l.Lock(c, h)
+				inc(c)
+				l.Unlock(c, h)
+				jitter(c)
+			}
+		case CounterTicket:
+			l := locks.NewTicket(d)
+			return func(tid int, c *machine.Ctx) {
+				l.Lock(c)
+				inc(c)
+				l.Unlock(c)
+				jitter(c)
+			}
+		case CounterLeasedTTS:
+			l := locks.NewLeased(locks.NewTTS(d), LeaseTime)
+			return func(tid int, c *machine.Ctx) {
+				l.Lock(c)
+				inc(c)
+				l.Unlock(c)
+				jitter(c)
+			}
+		default:
+			l := locks.NewTTS(d)
+			return func(tid int, c *machine.Ctx) {
+				l.Lock(c)
+				inc(c)
+				l.Unlock(c)
+				jitter(c)
+			}
+		}
+	}
+}
+
+// QueueWorkload: 100% updates, enqueue/dequeue at random (Figure 3 middle).
+func QueueWorkload(mode ds.QueueLeaseMode) func(d *machine.Direct) OpFunc {
+	return func(d *machine.Direct) OpFunc {
+		q := ds.NewQueue(d, ds.QueueOptions{Mode: mode, LeaseTime: LeaseTime})
+		for i := 0; i < 64; i++ {
+			q.Enqueue(d, uint64(i)+1)
+		}
+		return func(tid int, c *machine.Ctx) {
+			if c.Rand().Intn(2) == 0 {
+				q.Enqueue(c, 1)
+			} else {
+				q.Dequeue(c)
+			}
+			jitter(c)
+		}
+	}
+}
+
+// FCQueueWorkload: the flat-combining queue [18] under the Figure 3 queue
+// workload (the optimized software comparator).
+func FCQueueWorkload(threads int) func(d *machine.Direct) OpFunc {
+	return func(d *machine.Direct) OpFunc {
+		q := ds.NewFCQueue(d, threads)
+		for i := 0; i < 64; i++ {
+			q.Enqueue(d, 0, uint64(i)+1)
+		}
+		return func(tid int, c *machine.Ctx) {
+			if c.Rand().Intn(2) == 0 {
+				q.Enqueue(c, tid, 1)
+			} else {
+				q.Dequeue(c, tid)
+			}
+			jitter(c)
+		}
+	}
+}
+
+// LCRQWorkload: the Morrison–Afek fetch&add ring queue [29] under the
+// Figure 3 queue workload (the architecture-optimized comparator).
+func LCRQWorkload() func(d *machine.Direct) OpFunc {
+	return func(d *machine.Direct) OpFunc {
+		q := ds.NewLCRQ(d, 1024)
+		for i := 0; i < 64; i++ {
+			q.Enqueue(d, uint64(i)+1)
+		}
+		return func(tid int, c *machine.Ctx) {
+			if c.Rand().Intn(2) == 0 {
+				q.Enqueue(c, 1)
+			} else {
+				q.Dequeue(c)
+			}
+			jitter(c)
+		}
+	}
+}
+
+// PQKind selects the Figure 3 priority-queue variant.
+type PQKind int
+
+const (
+	PQFineLocking  PQKind = iota // Lotan–Shavit over the locking skiplist
+	PQGlobalBase                 // global lock, no lease
+	PQGlobalLeased               // the paper's lease variant
+)
+
+// PQWorkload: 100% updates, insert/deleteMin pairs on random keys
+// (Figure 3 right).
+func PQWorkload(kind PQKind, prefill int) func(d *machine.Direct) OpFunc {
+	return func(d *machine.Direct) OpFunc {
+		var pq ds.PQ
+		switch kind {
+		case PQGlobalBase:
+			pq = ds.NewPQGlobal(d, 0)
+		case PQGlobalLeased:
+			pq = ds.NewPQGlobal(d, LeaseTime)
+		default:
+			pq = ds.NewPQFine(d)
+		}
+		for i := 0; i < prefill; i++ {
+			pq.Insert(d, d.Rand().Next()>>16|1)
+		}
+		return func(tid int, c *machine.Ctx) {
+			if c.Rand().Intn(2) == 0 {
+				pq.Insert(c, c.Rand().Next()>>16|1)
+			} else {
+				pq.DeleteMin(c)
+			}
+			jitter(c)
+		}
+	}
+}
+
+// MQWorkload: MultiQueues over 8 queues, alternating insert and deleteMin
+// (Figure 4 left).
+func MQWorkload(opt multiqueue.Options) func(d *machine.Direct) OpFunc {
+	return func(d *machine.Direct) OpFunc {
+		q := multiqueue.New(d, 8, 1<<16, opt)
+		for i := 0; i < 256; i++ {
+			q.Insert(d, d.Rand().Next()>>16|1)
+		}
+		return func(tid int, c *machine.Ctx) {
+			if c.Rand().Intn(2) == 0 {
+				q.Insert(c, c.Rand().Next()>>16|1)
+			} else {
+				q.DeleteMin(c)
+			}
+			jitter(c)
+		}
+	}
+}
+
+// TL2Workload: transactions updating 2 random objects of 10 (Figure 4
+// right / Figure 5 left). aborts receives the cumulative abort count.
+func TL2Workload(mode stm.LeaseMode, aborts *uint64) func(d *machine.Direct) OpFunc {
+	return func(d *machine.Direct) OpFunc {
+		tl := stm.New(d, 10, LeaseTime)
+		tl.Mode = mode
+		return func(tid int, c *machine.Ctx) {
+			i := c.Rand().Intn(10)
+			j := c.Rand().Intn(9)
+			if j >= i {
+				j++
+			}
+			*aborts += uint64(tl.UpdatePair(c, i, j, 1))
+			jitter(c)
+		}
+	}
+}
+
+// ImproperLockWorkload is the §7 "improper use" scenario for the
+// prioritization ablation: waiters lease the lock line before try_lock
+// but are slow to drop the lease on failure, delaying the owner's unlock.
+// With Config.RegularBreaksLease the owner's reset breaks such leases.
+func ImproperLockWorkload() func(d *machine.Direct) OpFunc {
+	return func(d *machine.Direct) OpFunc {
+		l := locks.NewTTS(d)
+		ctr := d.Alloc(8)
+		return func(tid int, c *machine.Ctx) {
+			for {
+				if l.TryLock(c) {
+					// Owner: plain critical section, no lease — its
+					// unlock store is a regular request.
+					c.Store(ctr, c.Load(ctr)+1)
+					c.Work(30)
+					l.Unlock(c)
+					return
+				}
+				// Improper waiter: leases the lock line even though the
+				// lock is owned, and dawdles before dropping it — the
+				// owner's unlock is deferred behind this lease unless
+				// prioritization breaks it.
+				c.Lease(l.Addr(), LeaseTime)
+				c.Load(l.Addr())
+				c.Work(400)
+				c.Release(l.Addr())
+			}
+		}
+	}
+}
+
+// SetKind selects a low-contention set structure (§7 "Low Contention").
+type SetKind int
+
+const (
+	SetHarris SetKind = iota
+	SetLazySkip
+	SetBST
+	SetHash
+	SetLFSkip      // lock-free skiplist [15]
+	SetNMTree      // Natarajan–Mittal lock-free BST [31]
+	SetMichaelHash // Michael's lock-free hash table [26]
+)
+
+// AllSetKinds lists every low-contention structure, lock-based suite
+// first, then the lock-free suite.
+func AllSetKinds() []SetKind {
+	return []SetKind{SetHarris, SetLazySkip, SetBST, SetHash,
+		SetLFSkip, SetNMTree, SetMichaelHash}
+}
+
+// String names the structure.
+func (k SetKind) String() string {
+	switch k {
+	case SetHarris:
+		return "harris-list"
+	case SetLazySkip:
+		return "skiplist"
+	case SetBST:
+		return "bst"
+	case SetLFSkip:
+		return "lf-skiplist"
+	case SetNMTree:
+		return "lf-bst"
+	case SetMichaelHash:
+		return "lf-hashtable"
+	default:
+		return "hashtable"
+	}
+}
+
+// SetWorkload: 20% updates (10% insert / 10% delete), 80% searches on
+// uniform random keys — the paper's low-contention experiment.
+func SetWorkload(kind SetKind, lease uint64, keyRange int, prefill int) func(d *machine.Direct) OpFunc {
+	return func(d *machine.Direct) OpFunc {
+		var ins func(x machine.API, k uint64) bool
+		var del func(x machine.API, k uint64) bool
+		var has func(x machine.API, k uint64) bool
+		switch kind {
+		case SetHarris:
+			l := ds.NewHarrisList(d)
+			l.LeaseTime = lease
+			ins, del, has = l.Insert, l.Remove, l.Contains
+		case SetLazySkip:
+			s := ds.NewLazySkipList(d)
+			s.LeaseTime = lease
+			ins, del, has = s.Insert, s.Remove, s.Contains
+		case SetBST:
+			t := ds.NewBST(d)
+			t.LeaseTime = lease
+			ins, del, has = t.Insert, t.Delete, t.Contains
+		case SetLFSkip:
+			s := ds.NewLFSkipList(d)
+			s.LeaseTime = lease
+			ins, del, has = s.Insert, s.Remove, s.Contains
+		case SetNMTree:
+			t := ds.NewNMTree(d)
+			t.LeaseTime = lease
+			ins, del, has = t.Insert, t.Delete, t.Contains
+		case SetMichaelHash:
+			h := ds.NewMichaelHashMap(d, keyRange/4, lease)
+			ins, del, has = h.Insert, h.Remove, h.Contains
+		default:
+			h := ds.NewHashMap(d, keyRange/4, lease)
+			ins = func(x machine.API, k uint64) bool { return h.Put(x, k, k) }
+			del = h.Delete
+			has = func(x machine.API, k uint64) bool { _, ok := h.Get(x, k); return ok }
+		}
+		for i := 0; i < prefill; i++ {
+			ins(d, uint64(d.Rand().Intn(keyRange))+1)
+		}
+		return func(tid int, c *machine.Ctx) {
+			k := uint64(c.Rand().Intn(keyRange)) + 1
+			switch p := c.Rand().Intn(10); {
+			case p == 0:
+				ins(c, k)
+			case p == 1:
+				del(c, k)
+			default:
+				has(c, k)
+			}
+			jitter(c)
+		}
+	}
+}
+
+// SnapshotWorkload: k-word atomic snapshots under write pressure (§5
+// cheap snapshots). Half the threads are writers bumping all words under
+// a joint lease; the rest snapshot with LeaseCollect or DoubleCollect.
+// attempts accumulates retry rounds and snaps the snapshot count (the
+// harness's op counter also includes writer iterations).
+func SnapshotWorkload(useLease bool, words int, attempts, snaps *uint64) func(d *machine.Direct) OpFunc {
+	return func(d *machine.Direct) OpFunc {
+		addrs := make([]mem.Addr, words)
+		for i := range addrs {
+			addrs[i] = d.Alloc(8)
+		}
+		snap := ds.NewSnapshot(addrs, LeaseTime)
+		return func(tid int, c *machine.Ctx) {
+			if tid%2 == 0 { // writers keep the words churning
+				c.MultiLease(LeaseTime, addrs...)
+				for _, a := range addrs {
+					c.Store(a, c.Load(a)+1)
+				}
+				c.ReleaseAll()
+				c.Work(1200) // update period: quiet gaps shrink as
+				// writer count grows with the thread count
+				return
+			}
+			var n int
+			if useLease {
+				_, n = snap.LeaseCollect(c)
+			} else {
+				_, n = snap.DoubleCollect(c)
+			}
+			*attempts += uint64(n)
+			*snaps++
+			jitter(c)
+		}
+	}
+}
+
+// PagerankRun runs the Figure 5 (right) application to completion and
+// returns total cycles.
+func PagerankRun(cfg machine.Config, threads int, leaseTime uint64, nodes, iters int) (uint64, machine.Stats) {
+	return RunToCompletion(cfg, threads, func(d *machine.Direct) func(int, *machine.Ctx) {
+		pcfg := pagerank.DefaultConfig(threads)
+		pcfg.Nodes = nodes
+		pcfg.Iterations = iters
+		pcfg.LeaseTime = leaseTime
+		p := pagerank.New(d, pcfg)
+		return func(tid int, c *machine.Ctx) { p.Run(c, tid) }
+	})
+}

@@ -1,0 +1,423 @@
+// Package coherence implements a transaction-level directory-based MSI
+// cache coherence protocol with per-line FIFO request queues, the substrate
+// the paper's Lease/Release mechanism plugs into.
+//
+// The directory matches the paper's setup (§7): "The directory structure in
+// Graphite implements a separate request queue per cache line" — this is
+// the paper's Assumption 1, on which the MultiLease deadlock-freedom proof
+// (Proposition 3) rests. One request per line is in service at a time
+// (Proposition 1: at most a single outstanding request can be queued at a
+// core); all others wait in the line's FIFO queue at the directory.
+//
+// The package owns protocol state and timing; the per-core side (L1 state
+// changes, lease deferral decisions, waking the requesting core) is
+// delegated to an Env implemented by the machine package, keeping this
+// state machine independently testable.
+package coherence
+
+import (
+	"fmt"
+
+	"leaserelease/internal/cache"
+	"leaserelease/internal/mem"
+	"leaserelease/internal/sim"
+)
+
+// MsgKind classifies coherence messages for traffic and energy accounting.
+type MsgKind int
+
+const (
+	// MsgRequest is a core's GetS/GetX request to the directory.
+	MsgRequest MsgKind = iota
+	// MsgReply is a data/grant reply to the requesting core.
+	MsgReply
+	// MsgForward is a directory-to-owner probe forward.
+	MsgForward
+	// MsgInval is a directory-to-sharer invalidation.
+	MsgInval
+	// MsgAck is an acknowledgment (invalidation ack or ownership-transfer
+	// notice to the directory).
+	MsgAck
+	// MsgWriteback is a dirty-eviction writeback notice.
+	MsgWriteback
+	numMsgKinds
+)
+
+// NumMsgKinds is the number of distinct message kinds.
+const NumMsgKinds = int(numMsgKinds)
+
+func (k MsgKind) String() string {
+	switch k {
+	case MsgRequest:
+		return "request"
+	case MsgReply:
+		return "reply"
+	case MsgForward:
+		return "forward"
+	case MsgInval:
+		return "inval"
+	case MsgAck:
+		return "ack"
+	case MsgWriteback:
+		return "writeback"
+	}
+	return fmt.Sprintf("MsgKind(%d)", int(k))
+}
+
+// Timing holds the latency parameters of the memory system beyond L1,
+// in core cycles.
+type Timing struct {
+	Net    sim.Time // one network hop (core <-> directory/L2, core <-> core)
+	L2Tag  sim.Time // L2/directory tag lookup
+	L2Data sim.Time
+	Inval  sim.Time // probe/invalidation processing at a core
+	DRAM   sim.Time // extra latency for the first-ever (cold) fill of a line
+
+	// NetJitter adds a deterministic pseudo-random 0..NetJitter cycles to
+	// each request's network traversal, modeling mesh routing/occupancy
+	// variability. Without it the fully synchronous simulation can lock
+	// into unrealistically failure-free convoys (real hardware — and even
+	// the loosely-synchronized Graphite — has such jitter implicitly).
+	NetJitter sim.Time
+}
+
+// DefaultTiming mirrors the paper's Table 1 (L2 tag/data 3/8 cycles) with
+// a 15-cycle mesh hop and 100-cycle DRAM.
+func DefaultTiming() Timing {
+	return Timing{Net: 15, L2Tag: 3, L2Data: 8, Inval: 2, DRAM: 100, NetJitter: 4}
+}
+
+// Request is one coherence transaction: a core asking for a line in Shared
+// (Excl=false) or Modified (Excl=true) state.
+type Request struct {
+	Core  int
+	Line  mem.Line
+	Excl  bool
+	Lease bool // initiated by a Lease instruction (see Config.RegularBreaksLease)
+
+	Issued sim.Time // submission time (for latency accounting)
+
+	// newState/newOwner/newSharers: directory transition decided when the
+	// request is serviced, committed on completion. exclClean marks a
+	// MESI Exclusive-clean fill of a read request.
+	newState   dirState
+	newOwner   int
+	newSharers uint64
+	exclClean  bool
+}
+
+type dirState uint8
+
+const (
+	dirI dirState = iota
+	dirS
+	dirM
+)
+
+type dirEntry struct {
+	state   dirState
+	owner   int
+	sharers uint64 // bitset over cores; Directory supports at most 64 cores
+	busy    bool
+	queue   []*Request
+	touched bool // line has been filled at least once (cold-miss tracking)
+}
+
+// Env is the per-core side of the protocol, implemented by the machine.
+// All methods are called from engine-event context.
+type Env interface {
+	// DeliverProbe presents an ownership/read probe for req.Line to the
+	// owning core. If the core holds an active lease on the line (or the
+	// line is part of a MultiLease group being acquired), the env queues
+	// the probe and returns true; it must later call Directory.ProbeDone
+	// when the lease releases. Otherwise the env downgrades its L1 copy
+	// (to S for a read probe, to I for an ownership probe) and returns
+	// false.
+	DeliverProbe(owner int, req *Request) (deferred bool)
+	// Invalidate tells a sharer core to drop its Shared copy. Never
+	// deferred: leased lines are always Modified (§8: "a core leasing a
+	// line demands it in Exclusive state").
+	Invalidate(core int, line mem.Line)
+	// Complete delivers the grant to the requester: install the line in
+	// st and resume the stalled core. Called at the completion time.
+	Complete(req *Request, st cache.State)
+	// CountMsg accounts n coherence messages of the given kind.
+	CountMsg(kind MsgKind, n int)
+	// CountL2 accounts one L2 data access; CountDRAM one DRAM access.
+	CountL2()
+	CountDRAM()
+}
+
+// Directory is the shared-L2 directory controller.
+type Directory struct {
+	eng *sim.Engine
+	env Env
+	t   Timing
+
+	// MESI enables MESI-style Exclusive-clean fills (§8 "Other
+	// Protocols"): a read fill with no other sharer is granted in
+	// exclusive state, so the first subsequent write needs no upgrade
+	// transaction. Lease semantics are unchanged — a lease always
+	// demands exclusive state.
+	MESI bool
+
+	entries map[mem.Line]*dirEntry
+	rng     sim.RNG
+
+	// MaxQueue is the maximum per-line queue occupancy observed (§5
+	// discusses leases potentially increasing directory queuing).
+	MaxQueue int
+	// DeferredProbes counts probes that were queued at a leased core.
+	DeferredProbes uint64
+}
+
+// NewDirectory builds a directory over the given engine and environment.
+func NewDirectory(eng *sim.Engine, env Env, t Timing) *Directory {
+	return &Directory{
+		eng: eng, env: env, t: t,
+		entries: make(map[mem.Line]*dirEntry),
+		rng:     sim.NewRNG(0xD12EC7),
+	}
+}
+
+func (d *Directory) entry(l mem.Line) *dirEntry {
+	e, ok := d.entries[l]
+	if !ok {
+		e = &dirEntry{}
+		d.entries[l] = e
+	}
+	return e
+}
+
+// Submit issues a request from a core at the current time. The request
+// message takes one network hop (plus jitter) to reach the directory,
+// where it enters the line's FIFO queue.
+func (d *Directory) Submit(req *Request) {
+	req.Issued = d.eng.Now()
+	d.env.CountMsg(MsgRequest, 1)
+	d.eng.After(d.t.Net+d.jitter(), func() { d.arrive(req) })
+}
+
+// jitter draws 0..NetJitter extra cycles from the directory's RNG.
+func (d *Directory) jitter() sim.Time {
+	if d.t.NetJitter == 0 {
+		return 0
+	}
+	return d.rng.Uint64n(uint64(d.t.NetJitter) + 1)
+}
+
+func (d *Directory) arrive(req *Request) {
+	e := d.entry(req.Line)
+	e.queue = append(e.queue, req)
+	occ := len(e.queue)
+	if e.busy {
+		occ++ // include the request currently in service
+	}
+	if occ > d.MaxQueue {
+		d.MaxQueue = occ
+	}
+	if !e.busy {
+		d.service(req.Line)
+	}
+}
+
+// service begins processing the head of the line's queue. Runs in engine
+// context at the directory.
+func (d *Directory) service(l mem.Line) {
+	e := d.entry(l)
+	if e.busy || len(e.queue) == 0 {
+		return
+	}
+	req := e.queue[0]
+	e.queue = e.queue[1:]
+	e.busy = true
+
+	switch {
+	case e.state == dirM && e.owner != req.Core:
+		// Forward a probe to the owner; the lease mechanism may defer it
+		// there. Directory tag lookup, then one hop to the owner.
+		if req.Excl {
+			req.newState, req.newOwner = dirM, req.Core
+		} else {
+			req.newState = dirS
+			req.newSharers = bit(e.owner) | bit(req.Core)
+		}
+		d.env.CountMsg(MsgForward, 1)
+		owner := e.owner
+		d.eng.After(d.t.L2Tag+d.t.Net, func() { d.probeArrive(owner, req) })
+
+	case e.state == dirS && req.Excl:
+		// Invalidate all other sharers, then grant Modified.
+		req.newState, req.newOwner = dirM, req.Core
+		others := e.sharers &^ bit(req.Core)
+		k := countBits(others)
+		dataReady := d.t.L2Tag + d.t.L2Data
+		if k > 0 {
+			d.env.CountMsg(MsgInval, k)
+			d.env.CountMsg(MsgAck, k)
+			for c := 0; c < 64; c++ {
+				if others&bit(c) != 0 {
+					c := c
+					d.eng.After(d.t.L2Tag+d.t.Net, func() { d.env.Invalidate(c, l) })
+				}
+			}
+			acksDone := d.t.L2Tag + d.t.Net + d.t.Inval + d.t.Net
+			if acksDone > dataReady {
+				dataReady = acksDone
+			}
+		}
+		d.env.CountL2()
+		d.env.CountMsg(MsgReply, 1)
+		d.eng.After(dataReady+d.t.Net, func() { d.complete(req) })
+
+	default:
+		// Uncached fill, a read of a Shared line, or a request by the
+		// recorded owner itself (possible after an eviction writeback
+		// raced this request): serve from L2/DRAM.
+		lat := d.t.L2Tag + d.t.L2Data
+		d.env.CountL2()
+		if !e.touched {
+			e.touched = true
+			lat += d.t.DRAM
+			d.env.CountDRAM()
+		}
+		switch {
+		case req.Excl:
+			req.newState, req.newOwner = dirM, req.Core
+		case d.MESI && e.state == dirI:
+			// Sole reader: grant Exclusive (MESI E). The requester may
+			// silently upgrade to Modified on its first write.
+			req.newState, req.newOwner = dirM, req.Core
+			req.exclClean = true
+		default:
+			req.newState = dirS
+			req.newSharers = e.sharers | bit(req.Core)
+		}
+		d.env.CountMsg(MsgReply, 1)
+		d.eng.After(lat+d.t.Net, func() { d.complete(req) })
+	}
+}
+
+// probeArrive runs when a forwarded probe reaches the owning core.
+func (d *Directory) probeArrive(owner int, req *Request) {
+	if d.env.DeliverProbe(owner, req) {
+		d.DeferredProbes++
+		return // env will call ProbeDone on lease release/expiry
+	}
+	d.ownerDowngraded(req)
+}
+
+// ProbeDone resumes a deferred probe: the machine calls it (after
+// downgrading its L1 copy) when the lease on req.Line is released,
+// voluntarily or involuntarily.
+func (d *Directory) ProbeDone(req *Request) { d.ownerDowngraded(req) }
+
+func (d *Directory) ownerDowngraded(req *Request) {
+	// Owner sends the data directly to the requester and an
+	// ownership-transfer ack to the directory.
+	d.env.CountMsg(MsgReply, 1)
+	d.env.CountMsg(MsgAck, 1)
+	d.eng.After(d.t.Inval+d.t.Net, func() { d.complete(req) })
+}
+
+// complete commits the directory transition, installs the line at the
+// requester, and starts servicing the next queued request for the line.
+func (d *Directory) complete(req *Request) {
+	e := d.entry(req.Line)
+	e.state = req.newState
+	e.owner = req.newOwner
+	e.sharers = req.newSharers
+	if e.state == dirM {
+		e.sharers = bit(req.newOwner)
+	}
+	st := cache.Shared
+	if req.Excl || req.exclClean {
+		st = cache.Modified
+	}
+	e.busy = false
+	d.env.Complete(req, st)
+	if len(e.queue) > 0 {
+		d.service(req.Line)
+	}
+}
+
+// Writeback records a dirty eviction by core on line l. Modeled as
+// synchronous with the eviction (the writeback buffer drains off the
+// critical path); the message is still counted.
+func (d *Directory) Writeback(core int, l mem.Line) {
+	d.env.CountMsg(MsgWriteback, 1)
+	e := d.entry(l)
+	if e.state == dirM && e.owner == core {
+		e.state = dirI
+		e.sharers = 0
+	}
+}
+
+// SharerDrop records a silent Shared eviction (no message in MSI; the
+// directory's sharer list simply goes stale, and a later invalidation to a
+// non-holder is absorbed by the core). Kept for symmetry and tests.
+func (d *Directory) SharerDrop(core int, l mem.Line) {
+	if e, ok := d.entries[l]; ok {
+		e.sharers &^= bit(core)
+	}
+}
+
+// State reports the directory's view of a line (for tests/diagnostics):
+// "I", "S", or "M", the owner (valid for M), and the sharer bitset.
+func (d *Directory) State(l mem.Line) (state string, owner int, sharers uint64) {
+	e, ok := d.entries[l]
+	if !ok {
+		return "I", 0, 0
+	}
+	switch e.state {
+	case dirS:
+		return "S", 0, e.sharers
+	case dirM:
+		return "M", e.owner, e.sharers
+	}
+	return "I", 0, 0
+}
+
+// ForEachLine visits every line the directory has ever tracked, reporting
+// its committed state. busy lines are mid-transaction; checkers should
+// skip them.
+func (d *Directory) ForEachLine(fn func(l mem.Line, state string, owner int, sharers uint64, busy bool)) {
+	for l, e := range d.entries {
+		st := "I"
+		switch e.state {
+		case dirS:
+			st = "S"
+		case dirM:
+			st = "M"
+		}
+		fn(l, st, e.owner, e.sharers, e.busy || len(e.queue) > 0)
+	}
+}
+
+// QueueLen returns the current queue length for a line (tests/diagnostics).
+func (d *Directory) QueueLen(l mem.Line) int {
+	if e, ok := d.entries[l]; ok {
+		n := len(e.queue)
+		if e.busy {
+			n++
+		}
+		return n
+	}
+	return 0
+}
+
+func bit(c int) uint64 {
+	if c < 0 || c >= 64 {
+		panic("coherence: core index out of range (directory supports <= 64 cores)")
+	}
+	return 1 << uint(c)
+}
+
+func countBits(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

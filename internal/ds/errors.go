@@ -1,0 +1,9 @@
+package ds
+
+import "errors"
+
+// Structural-invariant violations reported by the Check* test oracles.
+var (
+	errOutOfOrder  = errors.New("ds: keys out of order")
+	errBrokenTower = errors.New("ds: skiplist tower has a nil link")
+)

@@ -1,0 +1,114 @@
+package ds
+
+import (
+	"testing"
+
+	"leaserelease/internal/linearize"
+	"leaserelease/internal/machine"
+)
+
+func TestFCQueueSequentialFIFO(t *testing.T) {
+	m := newM(1)
+	q := NewFCQueue(m.Direct(), 1)
+	var out []uint64
+	var emptyOK bool
+	m.Spawn(0, func(c *machine.Ctx) {
+		_, ok := q.Dequeue(c, 0)
+		emptyOK = !ok
+		for i := uint64(1); i <= 6; i++ {
+			q.Enqueue(c, 0, i)
+		}
+		for i := 0; i < 6; i++ {
+			v, ok := q.Dequeue(c, 0)
+			if !ok {
+				t.Error("premature empty")
+				return
+			}
+			out = append(out, v)
+		}
+	})
+	if err := m.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if !emptyOK {
+		t.Fatal("empty Dequeue returned a value")
+	}
+	for i, v := range out {
+		if v != uint64(i+1) {
+			t.Fatalf("FIFO violated: %v", out)
+		}
+	}
+}
+
+func TestFCQueueConservation(t *testing.T) {
+	const cores, per = 8, 50
+	m := newM(cores)
+	q := NewFCQueue(m.Direct(), cores)
+	popped := make([][]uint64, cores)
+	for i := 0; i < cores; i++ {
+		i := i
+		m.Spawn(0, func(c *machine.Ctx) {
+			for n := 0; n < per; n++ {
+				q.Enqueue(c, i, tag(i, n))
+				if v, ok := q.Dequeue(c, i); ok {
+					popped[i] = append(popped[i], v)
+				}
+				c.Work(c.Rand().Uint64n(40))
+			}
+		})
+	}
+	if err := m.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]int{}
+	total := 0
+	for _, ps := range popped {
+		for _, v := range ps {
+			seen[v]++
+			total++
+		}
+	}
+	d := m.Direct()
+	for v, ok := q.Dequeue(d, 0); ok; v, ok = q.Dequeue(d, 0) {
+		seen[v]++
+		total++
+	}
+	if total != cores*per {
+		t.Fatalf("enqueued %d, accounted %d", cores*per, total)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %#x seen %d times", v, n)
+		}
+	}
+}
+
+func TestFCQueueLinearizable(t *testing.T) {
+	m := newM(4)
+	q := NewFCQueue(m.Direct(), 4)
+	rec := &linearize.Recorder{}
+	for i := 0; i < 4; i++ {
+		i := i
+		m.Spawn(0, func(c *machine.Ctx) {
+			for n := 0; n < 4; n++ {
+				if c.Rand().Intn(2) == 0 {
+					v := tag(i, n)
+					inv := c.Now()
+					q.Enqueue(c, i, v)
+					rec.Record(i, inv, c.Now(), "enq", v, 0, true)
+				} else {
+					inv := c.Now()
+					v, ok := q.Dequeue(c, i)
+					rec.Record(i, inv, c.Now(), "deq", 0, v, ok)
+				}
+				c.Work(c.Rand().Uint64n(64))
+			}
+		})
+	}
+	if err := m.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if !linearize.Check(rec.Ops, linearize.QueueModel()) {
+		t.Fatalf("flat-combining queue history not linearizable:\n%v", rec.Ops)
+	}
+}

@@ -1,0 +1,117 @@
+package ds
+
+import (
+	"leaserelease/internal/machine"
+	"leaserelease/internal/mem"
+)
+
+// FCStack is a flat-combining stack after Hendler, Incze, Shavit &
+// Tzafrir [18] — the §2 "combining" software technique: threads publish
+// operations in per-thread records; whoever wins the combiner lock applies
+// everyone's pending operations to a sequential stack and distributes the
+// results, so the hotspot is touched by one thread at a time.
+type FCStack struct {
+	lock    mem.Addr // combiner try-lock
+	head    mem.Addr // sequential stack head (combiner-only)
+	records []mem.Addr
+	// CombineRounds bounds how long a waiting thread spins before trying
+	// to become the combiner itself.
+	CombineRounds int
+}
+
+// Publication record layout (one line per thread).
+const (
+	fcOp    = 0 // 0 = none, 1 = push pending, 2 = pop pending
+	fcArg   = 8
+	fcDone  = 16 // set by the combiner
+	fcRet   = 24
+	fcRetOK = 32
+	fcSize  = 40
+	fcNone  = 0
+	fcPush  = 1
+	fcPop   = 2
+)
+
+// NewFCStack allocates the stack with one publication record per thread.
+func NewFCStack(x machine.API, threads int) *FCStack {
+	s := &FCStack{lock: x.Alloc(8), head: x.Alloc(8), CombineRounds: 32}
+	for i := 0; i < threads; i++ {
+		s.records = append(s.records, x.Alloc(fcSize))
+	}
+	return s
+}
+
+// Push pushes v on behalf of thread tid.
+func (s *FCStack) Push(x machine.API, tid int, v uint64) {
+	s.run(x, tid, fcPush, v)
+}
+
+// Pop pops on behalf of thread tid.
+func (s *FCStack) Pop(x machine.API, tid int) (uint64, bool) {
+	r := s.records[tid]
+	s.run(x, tid, fcPop, 0)
+	return x.Load(r + fcRet), x.Load(r+fcRetOK) == 1
+}
+
+// run publishes the op and waits for a combiner (possibly itself).
+func (s *FCStack) run(x machine.API, tid int, op, arg uint64) {
+	r := s.records[tid]
+	x.Store(r+fcDone, 0)
+	x.Store(r+fcArg, arg)
+	x.Store(r+fcOp, op) // publish last
+	for {
+		// Spin a little waiting for a passing combiner.
+		for i := 0; i < s.CombineRounds; i++ {
+			if x.Load(r+fcDone) == 1 {
+				return
+			}
+			x.Work(16)
+		}
+		// Try to become the combiner.
+		if x.Load(s.lock) == 0 && x.Swap(s.lock, 1) == 0 {
+			s.combine(x)
+			x.Store(s.lock, 0)
+			if x.Load(r+fcDone) == 1 {
+				return
+			}
+			// The record republished after our own scan: loop again.
+		}
+	}
+}
+
+// combine applies every pending published op to the sequential stack.
+func (s *FCStack) combine(x machine.API) {
+	for _, r := range s.records {
+		op := x.Load(r + fcOp)
+		if op == fcNone || x.Load(r+fcDone) == 1 {
+			continue
+		}
+		switch op {
+		case fcPush:
+			node := x.Alloc(stkSize)
+			x.Store(node+stkValue, x.Load(r+fcArg))
+			x.Store(node+stkNext, x.Load(s.head))
+			x.Store(s.head, uint64(node))
+		case fcPop:
+			h := x.Load(s.head)
+			if h == 0 {
+				x.Store(r+fcRetOK, 0)
+			} else {
+				x.Store(r+fcRet, x.Load(mem.Addr(h)+stkValue))
+				x.Store(r+fcRetOK, 1)
+				x.Store(s.head, x.Load(mem.Addr(h)+stkNext))
+			}
+		}
+		x.Store(r+fcOp, fcNone)
+		x.Store(r+fcDone, 1)
+	}
+}
+
+// Len walks the sequential stack (test oracle; quiescent use only).
+func (s *FCStack) Len(x machine.API) int {
+	n := 0
+	for p := x.Load(s.head); p != 0; p = x.Load(mem.Addr(p) + stkNext) {
+		n++
+	}
+	return n
+}

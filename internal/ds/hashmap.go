@@ -1,0 +1,119 @@
+package ds
+
+import (
+	"leaserelease/internal/locks"
+	"leaserelease/internal/machine"
+	"leaserelease/internal/mem"
+)
+
+// HashMap is a fixed-size chained hash table with one lock per bucket —
+// the paper's "lock-based hash tables" of the low-contention suite
+// (modeled on the Java concurrent hash table's striped locking). With
+// LeaseTime > 0, each bucket lock uses the §6 leased try-lock pattern.
+type HashMap struct {
+	buckets []bucket
+	mask    uint64
+}
+
+type bucket struct {
+	lock locks.TryLock
+	head mem.Addr // sorted singly-linked chain: [key, value, next]
+}
+
+const (
+	hmKey   = 0
+	hmValue = 8
+	hmNext  = 16
+	hmSize  = 24
+)
+
+// NewHashMap allocates a table with nBuckets (rounded up to a power of
+// two). leaseTime > 0 leases bucket locks across critical sections.
+func NewHashMap(x machine.API, nBuckets int, leaseTime uint64) *HashMap {
+	n := 1
+	for n < nBuckets {
+		n <<= 1
+	}
+	h := &HashMap{buckets: make([]bucket, n), mask: uint64(n - 1)}
+	for i := range h.buckets {
+		var l locks.TryLock = locks.NewTTS(x)
+		if leaseTime > 0 {
+			l = locks.NewLeased(l, leaseTime)
+		}
+		h.buckets[i] = bucket{lock: l, head: x.Alloc(8)}
+	}
+	return h
+}
+
+func (h *HashMap) bucket(key uint64) *bucket {
+	// Fibonacci hashing spreads adjacent keys across buckets.
+	return &h.buckets[(key*0x9e3779b97f4a7c15)>>32&h.mask]
+}
+
+// Put inserts or updates key -> v, reporting whether the key was new.
+func (h *HashMap) Put(x machine.API, key, v uint64) bool {
+	b := h.bucket(key)
+	b.lock.Lock(x)
+	defer b.lock.Unlock(x)
+	prev := b.head
+	curr := mem.Addr(x.Load(prev))
+	for curr != 0 && x.Load(curr+hmKey) < key {
+		prev = curr + hmNext
+		curr = mem.Addr(x.Load(prev))
+	}
+	if curr != 0 && x.Load(curr+hmKey) == key {
+		x.Store(curr+hmValue, v)
+		return false
+	}
+	node := x.Alloc(hmSize)
+	x.Store(node+hmKey, key)
+	x.Store(node+hmValue, v)
+	x.Store(node+hmNext, uint64(curr))
+	x.Store(prev, uint64(node))
+	return true
+}
+
+// Get returns the value for key. Reads are lock-free, as in the Java
+// concurrent hash table the paper benchmarks: Put links fully-initialized
+// nodes and Delete unlinks whole nodes, so a concurrent reader always sees
+// a consistent chain.
+func (h *HashMap) Get(x machine.API, key uint64) (uint64, bool) {
+	b := h.bucket(key)
+	curr := mem.Addr(x.Load(b.head))
+	for curr != 0 && x.Load(curr+hmKey) < key {
+		curr = mem.Addr(x.Load(curr + hmNext))
+	}
+	if curr != 0 && x.Load(curr+hmKey) == key {
+		return x.Load(curr + hmValue), true
+	}
+	return 0, false
+}
+
+// Delete removes key, reporting whether it was present.
+func (h *HashMap) Delete(x machine.API, key uint64) bool {
+	b := h.bucket(key)
+	b.lock.Lock(x)
+	defer b.lock.Unlock(x)
+	prev := b.head
+	curr := mem.Addr(x.Load(prev))
+	for curr != 0 && x.Load(curr+hmKey) < key {
+		prev = curr + hmNext
+		curr = mem.Addr(x.Load(prev))
+	}
+	if curr != 0 && x.Load(curr+hmKey) == key {
+		x.Store(prev, x.Load(curr+hmNext))
+		return true
+	}
+	return false
+}
+
+// Len counts all entries (test oracle; quiescent use only).
+func (h *HashMap) Len(x machine.API) int {
+	n := 0
+	for i := range h.buckets {
+		for curr := mem.Addr(x.Load(h.buckets[i].head)); curr != 0; curr = mem.Addr(x.Load(curr + hmNext)) {
+			n++
+		}
+	}
+	return n
+}

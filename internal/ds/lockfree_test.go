@@ -1,0 +1,205 @@
+package ds
+
+import (
+	"testing"
+
+	"leaserelease/internal/machine"
+)
+
+// lock-free structure adapters for the shared set test harness.
+
+type lfskipOps struct{ s *LFSkipList }
+
+func (l lfskipOps) ins(x machine.API, k uint64) bool { return l.s.Insert(x, k) }
+func (l lfskipOps) del(x machine.API, k uint64) bool { return l.s.Remove(x, k) }
+func (l lfskipOps) has(x machine.API, k uint64) bool { return l.s.Contains(x, k) }
+func (l lfskipOps) check(x machine.API) error        { return l.s.CheckInvariants(x) }
+
+type nmOps struct{ t *NMTree }
+
+func (n nmOps) ins(x machine.API, k uint64) bool { return n.t.Insert(x, k) }
+func (n nmOps) del(x machine.API, k uint64) bool { return n.t.Delete(x, k) }
+func (n nmOps) has(x machine.API, k uint64) bool { return n.t.Contains(x, k) }
+func (n nmOps) check(x machine.API) error        { return n.t.CheckInvariants(x) }
+
+type mhashOps struct{ h *MichaelHashMap }
+
+func (m mhashOps) ins(x machine.API, k uint64) bool { return m.h.Insert(x, k) }
+func (m mhashOps) del(x machine.API, k uint64) bool { return m.h.Remove(x, k) }
+func (m mhashOps) has(x machine.API, k uint64) bool { return m.h.Contains(x, k) }
+func (m mhashOps) check(x machine.API) error        { return m.h.CheckInvariants(x) }
+
+func lockFreeMakers() map[string]func(x machine.API, lease uint64) setOps {
+	return map[string]func(x machine.API, lease uint64) setOps{
+		"lfskip": func(x machine.API, lease uint64) setOps {
+			s := NewLFSkipList(x)
+			s.LeaseTime = lease
+			return lfskipOps{s}
+		},
+		"nmtree": func(x machine.API, lease uint64) setOps {
+			t := NewNMTree(x)
+			t.LeaseTime = lease
+			return nmOps{t}
+		},
+		"michaelhash": func(x machine.API, lease uint64) setOps {
+			return mhashOps{NewMichaelHashMap(x, 16, lease)}
+		},
+	}
+}
+
+func TestLockFreeSetsSequentialModel(t *testing.T) {
+	for name, mk := range lockFreeMakers() {
+		for _, lease := range []uint64{0, 20000} {
+			name, mk, lease := name, mk, lease
+			t.Run(name, func(t *testing.T) {
+				m := newM(1)
+				s := mk(m.Direct(), lease)
+				m.Spawn(0, func(c *machine.Ctx) {
+					model := map[uint64]bool{}
+					r := c.Rand()
+					for i := 0; i < 500; i++ {
+						k := uint64(r.Intn(48) + 1)
+						switch r.Intn(3) {
+						case 0:
+							if s.ins(c, k) == model[k] {
+								t.Errorf("%s insert(%d) disagrees with model", name, k)
+								return
+							}
+							model[k] = true
+						case 1:
+							if s.del(c, k) != model[k] {
+								t.Errorf("%s delete(%d) disagrees with model", name, k)
+								return
+							}
+							delete(model, k)
+						case 2:
+							if s.has(c, k) != model[k] {
+								t.Errorf("%s contains(%d) disagrees with model", name, k)
+								return
+							}
+						}
+					}
+				})
+				if err := m.Drain(); err != nil {
+					t.Fatal(err)
+				}
+				if err := s.check(m.Direct()); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func TestLockFreeSetsConcurrentDisjointKeys(t *testing.T) {
+	const cores, opsPer, keysPer = 8, 150, 16
+	for name, mk := range lockFreeMakers() {
+		for _, lease := range []uint64{0, 20000} {
+			name, mk, lease := name, mk, lease
+			t.Run(name, func(t *testing.T) {
+				m := newM(cores)
+				s := mk(m.Direct(), lease)
+				finalModel := make([]map[uint64]bool, cores)
+				for i := 0; i < cores; i++ {
+					i := i
+					m.Spawn(0, func(c *machine.Ctx) {
+						model := map[uint64]bool{}
+						finalModel[i] = model
+						base := uint64(i*keysPer + 1)
+						r := c.Rand()
+						for n := 0; n < opsPer; n++ {
+							k := base + uint64(r.Intn(keysPer))
+							switch r.Intn(3) {
+							case 0:
+								if s.ins(c, k) == model[k] {
+									t.Errorf("%s: core %d insert(%d) wrong", name, i, k)
+									return
+								}
+								model[k] = true
+							case 1:
+								if s.del(c, k) != model[k] {
+									t.Errorf("%s: core %d delete(%d) wrong", name, i, k)
+									return
+								}
+								delete(model, k)
+							case 2:
+								if s.has(c, k) != model[k] {
+									t.Errorf("%s: core %d contains(%d) wrong", name, i, k)
+									return
+								}
+							}
+						}
+					})
+				}
+				if err := m.Drain(); err != nil {
+					t.Fatal(err)
+				}
+				if err := s.check(m.Direct()); err != nil {
+					t.Fatal(err)
+				}
+				d := m.Direct()
+				for i, model := range finalModel {
+					base := uint64(i*keysPer + 1)
+					for k := base; k < base+keysPer; k++ {
+						if s.has(d, k) != model[k] {
+							t.Fatalf("%s: final membership of %d = %v, model %v",
+								name, k, s.has(d, k), model[k])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestLockFreeSetsSharedHotKeys hammers a tiny shared key range from all
+// threads (maximum structural contention: concurrent inserts and deletes
+// of the same keys) and then checks structural invariants plus a final
+// sequential sanity pass.
+func TestLockFreeSetsSharedHotKeys(t *testing.T) {
+	const cores, opsPer, keys = 8, 150, 6
+	for name, mk := range lockFreeMakers() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			m := newM(cores)
+			s := mk(m.Direct(), 0)
+			for i := 0; i < cores; i++ {
+				m.Spawn(0, func(c *machine.Ctx) {
+					r := c.Rand()
+					for n := 0; n < opsPer; n++ {
+						k := uint64(r.Intn(keys) + 1)
+						switch r.Intn(3) {
+						case 0:
+							s.ins(c, k)
+						case 1:
+							s.del(c, k)
+						default:
+							s.has(c, k)
+						}
+					}
+				})
+			}
+			if err := m.Drain(); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.check(m.Direct()); err != nil {
+				t.Fatal(err)
+			}
+			// Quiescent sequential sanity: the structure still behaves
+			// as a set.
+			m2 := m.Direct()
+			for k := uint64(1); k <= keys; k++ {
+				was := s.has(m2, k)
+				if s.ins(m2, k) == was {
+					t.Fatalf("%s: post-stress insert(%d) inconsistent", name, k)
+				}
+				if !s.has(m2, k) {
+					t.Fatalf("%s: post-stress key %d missing after insert", name, k)
+				}
+				if !s.del(m2, k) || s.has(m2, k) {
+					t.Fatalf("%s: post-stress delete(%d) inconsistent", name, k)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,70 @@
+package ds
+
+import (
+	"leaserelease/internal/machine"
+	"leaserelease/internal/mem"
+)
+
+// Snapshot implements the §5 "cheap snapshots" primitive: an atomic read
+// of a set of words. LeaseCollect exploits the boolean Release result —
+// lease every line, read, release; if every release was voluntary, no
+// other core could have written between the first lease grant and the last
+// release, so the values form a consistent snapshot. DoubleCollect is the
+// classic software alternative it is compared against.
+type Snapshot struct {
+	addrs []mem.Addr
+	// LeaseTime bounds each line's lease during LeaseCollect.
+	LeaseTime uint64
+}
+
+// NewSnapshot builds a snapshot object over addrs. len(addrs) must not
+// exceed MAX_NUM_LEASES for LeaseCollect to be usable.
+func NewSnapshot(addrs []mem.Addr, leaseTime uint64) *Snapshot {
+	return &Snapshot{addrs: addrs, LeaseTime: leaseTime}
+}
+
+// LeaseCollect returns a consistent snapshot and the number of attempts
+// it took.
+func (s *Snapshot) LeaseCollect(x machine.API) ([]uint64, int) {
+	vals := make([]uint64, len(s.addrs))
+	for attempt := 1; ; attempt++ {
+		for _, a := range s.addrs {
+			x.Lease(a, s.LeaseTime)
+		}
+		for i, a := range s.addrs {
+			vals[i] = x.Load(a)
+		}
+		allVoluntary := true
+		for _, a := range s.addrs {
+			if !x.Release(a) {
+				allVoluntary = false
+			}
+		}
+		if allVoluntary {
+			return vals, attempt
+		}
+	}
+}
+
+// DoubleCollect returns a consistent snapshot via the classic
+// read-twice-until-stable scheme, plus the number of collect rounds.
+func (s *Snapshot) DoubleCollect(x machine.API) ([]uint64, int) {
+	prev := make([]uint64, len(s.addrs))
+	for i, a := range s.addrs {
+		prev[i] = x.Load(a)
+	}
+	for rounds := 2; ; rounds++ {
+		cur := make([]uint64, len(s.addrs))
+		same := true
+		for i, a := range s.addrs {
+			cur[i] = x.Load(a)
+			if cur[i] != prev[i] {
+				same = false
+			}
+		}
+		if same {
+			return cur, rounds
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,84 @@
+package ds
+
+import (
+	"testing"
+
+	"leaserelease/internal/machine"
+	"leaserelease/internal/mem"
+)
+
+// TestSnapshotConsistency: writers keep all words equal (incrementing them
+// together under a joint lease); any consistent snapshot must therefore
+// read k identical values. Both snapshot flavours are checked.
+func TestSnapshotConsistency(t *testing.T) {
+	const words = 4
+	for _, flavor := range []string{"lease", "double"} {
+		flavor := flavor
+		t.Run(flavor, func(t *testing.T) {
+			m := newM(4)
+			d := m.Direct()
+			addrs := make([]mem.Addr, words)
+			for i := range addrs {
+				addrs[i] = d.Alloc(8)
+			}
+			snap := NewSnapshot(addrs, 20000)
+			// Writer: bumps every word by 1, atomically via MultiLease.
+			m.Spawn(0, func(c *machine.Ctx) {
+				for {
+					c.MultiLease(20000, addrs...)
+					for _, a := range addrs {
+						c.Store(a, c.Load(a)+1)
+					}
+					c.ReleaseAll()
+					c.Work(200)
+				}
+			})
+			bad := false
+			for r := 1; r < 4; r++ {
+				m.Spawn(0, func(c *machine.Ctx) {
+					for n := 0; n < 25; n++ {
+						var vals []uint64
+						if flavor == "lease" {
+							vals, _ = snap.LeaseCollect(c)
+						} else {
+							vals, _ = snap.DoubleCollect(c)
+						}
+						for _, v := range vals[1:] {
+							if v != vals[0] {
+								bad = true
+							}
+						}
+						c.Work(100)
+					}
+				})
+			}
+			if err := m.Run(3_000_000); err != nil {
+				t.Fatal(err)
+			}
+			m.Stop()
+			if bad {
+				t.Fatalf("%s snapshot observed torn values", flavor)
+			}
+		})
+	}
+}
+
+// TestLeaseSnapshotSingleAttemptUncontended: without writers the lease
+// snapshot must succeed on the first attempt.
+func TestLeaseSnapshotSingleAttemptUncontended(t *testing.T) {
+	m := newM(1)
+	d := m.Direct()
+	addrs := []mem.Addr{d.Alloc(8), d.Alloc(8)}
+	d.Store(addrs[0], 10)
+	d.Store(addrs[1], 20)
+	snap := NewSnapshot(addrs, 20000)
+	var vals []uint64
+	var attempts int
+	m.Spawn(0, func(c *machine.Ctx) { vals, attempts = snap.LeaseCollect(c) })
+	if err := m.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 1 || vals[0] != 10 || vals[1] != 20 {
+		t.Fatalf("vals=%v attempts=%d", vals, attempts)
+	}
+}

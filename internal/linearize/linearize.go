@@ -1,0 +1,237 @@
+// Package linearize checks concurrent operation histories for
+// linearizability against a sequential model, in the style of Wing & Gong
+// with bitset memoization (Lowe). The simulator's deterministic global
+// timestamps make collecting precise invocation/response windows trivial,
+// so data structure tests can assert linearizability directly instead of
+// settling for conservation checks.
+//
+// Histories are limited to 64 completed operations (a bitset holds the
+// "taken" frontier); tests use several small windows rather than one huge
+// history, since checking is exponential in the worst case.
+package linearize
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Op is one completed operation.
+type Op struct {
+	Thread  int
+	Invoke  uint64 // timestamp at operation start
+	Respond uint64 // timestamp at operation end (>= Invoke)
+	Kind    string // model-specific, e.g. "push", "pop"
+	Arg     uint64
+	Ret     uint64
+	RetOK   bool // e.g. pop on empty has RetOK=false
+}
+
+func (o Op) String() string {
+	return fmt.Sprintf("t%d[%d,%d] %s(%d)=(%d,%v)",
+		o.Thread, o.Invoke, o.Respond, o.Kind, o.Arg, o.Ret, o.RetOK)
+}
+
+// Model is a sequential specification. States must be immutable values:
+// Apply returns a fresh state.
+type Model struct {
+	// Init returns the initial state.
+	Init func() interface{}
+	// Apply runs op on state; ok=false means the op's result is not
+	// possible in this state.
+	Apply func(state interface{}, op Op) (next interface{}, ok bool)
+	// Key returns a canonical string for memoization.
+	Key func(state interface{}) string
+}
+
+// Check reports whether history h is linearizable with respect to m.
+// It panics if h has more than 64 operations.
+func Check(h []Op, m Model) bool {
+	if len(h) > 64 {
+		panic("linearize: history longer than 64 ops")
+	}
+	ops := append([]Op(nil), h...)
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Invoke < ops[j].Invoke })
+
+	type memoKey struct {
+		taken uint64
+		state string
+	}
+	seen := map[memoKey]bool{}
+
+	var dfs func(taken uint64, state interface{}) bool
+	dfs = func(taken uint64, state interface{}) bool {
+		if taken == (uint64(1)<<len(ops))-1 {
+			return true
+		}
+		mk := memoKey{taken, m.Key(state)}
+		if seen[mk] {
+			return false
+		}
+		seen[mk] = true
+		// An op may linearize next only if no untaken op responded
+		// before it was invoked.
+		minResp := ^uint64(0)
+		for i := range ops {
+			if taken&(1<<uint(i)) == 0 && ops[i].Respond < minResp {
+				minResp = ops[i].Respond
+			}
+		}
+		for i := range ops {
+			if taken&(1<<uint(i)) != 0 {
+				continue
+			}
+			if ops[i].Invoke > minResp {
+				break // ops are invoke-sorted; none later can come first
+			}
+			if next, ok := m.Apply(state, ops[i]); ok {
+				if dfs(taken|1<<uint(i), next) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return dfs(0, m.Init())
+}
+
+// --- standard models ---
+
+// QueueModel specifies a FIFO queue of uint64s with distinct elements.
+// Ops: "enq"(Arg), "deq"() -> (Ret, RetOK); RetOK=false means empty.
+func QueueModel() Model {
+	return Model{
+		Init: func() interface{} { return []uint64{} },
+		Apply: func(state interface{}, op Op) (interface{}, bool) {
+			q := state.([]uint64)
+			switch op.Kind {
+			case "enq":
+				next := make([]uint64, len(q)+1)
+				copy(next, q)
+				next[len(q)] = op.Arg
+				return next, true
+			case "deq":
+				if !op.RetOK {
+					return q, len(q) == 0
+				}
+				if len(q) == 0 || q[0] != op.Ret {
+					return nil, false
+				}
+				return append([]uint64{}, q[1:]...), true
+			}
+			return nil, false
+		},
+		Key: keyUints,
+	}
+}
+
+// StackModel specifies a LIFO stack. Ops: "push"(Arg), "pop"() ->
+// (Ret, RetOK).
+func StackModel() Model {
+	return Model{
+		Init: func() interface{} { return []uint64{} },
+		Apply: func(state interface{}, op Op) (interface{}, bool) {
+			s := state.([]uint64)
+			switch op.Kind {
+			case "push":
+				next := make([]uint64, len(s)+1)
+				copy(next, s)
+				next[len(s)] = op.Arg
+				return next, true
+			case "pop":
+				if !op.RetOK {
+					return s, len(s) == 0
+				}
+				if len(s) == 0 || s[len(s)-1] != op.Ret {
+					return nil, false
+				}
+				return append([]uint64{}, s[:len(s)-1]...), true
+			}
+			return nil, false
+		},
+		Key: keyUints,
+	}
+}
+
+// SetModel specifies a set. Ops: "ins"(Arg)->RetOK (true if absent),
+// "del"(Arg)->RetOK (true if present), "has"(Arg)->RetOK.
+func SetModel() Model {
+	return Model{
+		Init: func() interface{} { return map[uint64]bool(nil) },
+		Apply: func(state interface{}, op Op) (interface{}, bool) {
+			s := state.(map[uint64]bool)
+			in := s[op.Arg]
+			clone := func(add, del bool) map[uint64]bool {
+				n := make(map[uint64]bool, len(s)+1)
+				for k := range s {
+					n[k] = true
+				}
+				if add {
+					n[op.Arg] = true
+				}
+				if del {
+					delete(n, op.Arg)
+				}
+				return n
+			}
+			switch op.Kind {
+			case "ins":
+				if op.RetOK == in {
+					return nil, false
+				}
+				return clone(true, false), true
+			case "del":
+				if op.RetOK != in {
+					return nil, false
+				}
+				return clone(false, true), true
+			case "has":
+				return s, op.RetOK == in
+			}
+			return nil, false
+		},
+		Key: func(state interface{}) string {
+			s := state.(map[uint64]bool)
+			keys := make([]uint64, 0, len(s))
+			for k := range s {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+			return keyUints(keys)
+		},
+	}
+}
+
+// RegisterModel specifies a read/write register. Ops: "write"(Arg),
+// "read"()->Ret.
+func RegisterModel() Model {
+	return Model{
+		Init: func() interface{} { return uint64(0) },
+		Apply: func(state interface{}, op Op) (interface{}, bool) {
+			v := state.(uint64)
+			switch op.Kind {
+			case "write":
+				return op.Arg, true
+			case "read":
+				return v, op.Ret == v
+			}
+			return nil, false
+		},
+		Key: func(state interface{}) string { return fmt.Sprint(state) },
+	}
+}
+
+func keyUints(state interface{}) string {
+	return fmt.Sprint(state)
+}
+
+// Recorder collects ops from simulated threads. The simulator is
+// sequential, so no synchronization is needed.
+type Recorder struct{ Ops []Op }
+
+// Record appends one completed op.
+func (r *Recorder) Record(thread int, invoke, respond uint64, kind string, arg, ret uint64, retOK bool) {
+	r.Ops = append(r.Ops, Op{
+		Thread: thread, Invoke: invoke, Respond: respond,
+		Kind: kind, Arg: arg, Ret: ret, RetOK: retOK,
+	})
+}

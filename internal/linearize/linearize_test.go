@@ -1,0 +1,136 @@
+package linearize
+
+import "testing"
+
+func op(th int, inv, resp uint64, kind string, arg, ret uint64, ok bool) Op {
+	return Op{Thread: th, Invoke: inv, Respond: resp, Kind: kind, Arg: arg, Ret: ret, RetOK: ok}
+}
+
+func TestQueueSequentialAccepted(t *testing.T) {
+	h := []Op{
+		op(0, 0, 1, "enq", 1, 0, true),
+		op(0, 2, 3, "enq", 2, 0, true),
+		op(0, 4, 5, "deq", 0, 1, true),
+		op(0, 6, 7, "deq", 0, 2, true),
+		op(0, 8, 9, "deq", 0, 0, false),
+	}
+	if !Check(h, QueueModel()) {
+		t.Fatal("legal sequential queue history rejected")
+	}
+}
+
+func TestQueueFIFOViolationRejected(t *testing.T) {
+	h := []Op{
+		op(0, 0, 1, "enq", 1, 0, true),
+		op(0, 2, 3, "enq", 2, 0, true),
+		op(1, 4, 5, "deq", 0, 2, true), // out of order!
+		op(1, 6, 7, "deq", 0, 1, true),
+	}
+	if Check(h, QueueModel()) {
+		t.Fatal("FIFO violation accepted")
+	}
+}
+
+func TestQueueConcurrentOverlapAccepted(t *testing.T) {
+	// Two concurrent enqueues followed by two dequeues: either order
+	// works, so any dequeue order is linearizable.
+	h := []Op{
+		op(0, 0, 10, "enq", 1, 0, true),
+		op(1, 0, 10, "enq", 2, 0, true),
+		op(0, 11, 12, "deq", 0, 2, true),
+		op(1, 13, 14, "deq", 0, 1, true),
+	}
+	if !Check(h, QueueModel()) {
+		t.Fatal("valid interleaving rejected")
+	}
+}
+
+func TestQueueEmptyDeqDuringWindow(t *testing.T) {
+	// deq->empty overlapping an enqueue is fine (linearize deq first)...
+	h := []Op{
+		op(0, 0, 10, "enq", 1, 0, true),
+		op(1, 0, 10, "deq", 0, 0, false),
+	}
+	if !Check(h, QueueModel()) {
+		t.Fatal("overlapping empty-dequeue rejected")
+	}
+	// ...but not after the enqueue responded with nothing dequeued since.
+	h2 := []Op{
+		op(0, 0, 1, "enq", 1, 0, true),
+		op(1, 2, 3, "deq", 0, 0, false),
+	}
+	if Check(h2, QueueModel()) {
+		t.Fatal("impossible empty-dequeue accepted")
+	}
+}
+
+func TestStackModel(t *testing.T) {
+	h := []Op{
+		op(0, 0, 1, "push", 1, 0, true),
+		op(0, 2, 3, "push", 2, 0, true),
+		op(0, 4, 5, "pop", 0, 2, true),
+		op(0, 6, 7, "pop", 0, 1, true),
+	}
+	if !Check(h, StackModel()) {
+		t.Fatal("legal LIFO history rejected")
+	}
+	bad := []Op{
+		op(0, 0, 1, "push", 1, 0, true),
+		op(0, 2, 3, "push", 2, 0, true),
+		op(0, 4, 5, "pop", 0, 1, true), // FIFO order: illegal for a stack
+		op(0, 6, 7, "pop", 0, 2, true),
+	}
+	if Check(bad, StackModel()) {
+		t.Fatal("LIFO violation accepted")
+	}
+}
+
+func TestSetModel(t *testing.T) {
+	h := []Op{
+		op(0, 0, 1, "ins", 5, 0, true),
+		op(1, 2, 3, "has", 5, 0, true),
+		op(0, 4, 5, "del", 5, 0, true),
+		op(1, 6, 7, "has", 5, 0, false),
+		op(0, 8, 9, "del", 5, 0, false),
+	}
+	if !Check(h, SetModel()) {
+		t.Fatal("legal set history rejected")
+	}
+	bad := []Op{
+		op(0, 0, 1, "ins", 5, 0, true),
+		op(1, 2, 3, "has", 5, 0, false), // must see it
+	}
+	if Check(bad, SetModel()) {
+		t.Fatal("lost insert accepted")
+	}
+}
+
+func TestRegisterModel(t *testing.T) {
+	// Classic non-linearizable register history: read sees a value, a
+	// later non-overlapping read sees the older one.
+	bad := []Op{
+		op(0, 0, 10, "write", 1, 0, true),
+		op(1, 11, 12, "read", 0, 1, true),
+		op(2, 13, 14, "read", 0, 0, true), // stale after new value read
+	}
+	if Check(bad, RegisterModel()) {
+		t.Fatal("stale read accepted")
+	}
+	good := []Op{
+		op(0, 0, 20, "write", 1, 0, true),
+		op(1, 1, 2, "read", 0, 0, true), // during the write: old value ok
+		op(2, 3, 4, "read", 0, 1, true), // or new value
+	}
+	if !Check(good, RegisterModel()) {
+		t.Fatal("valid overlapping reads rejected")
+	}
+}
+
+func TestCheckPanicsOnHugeHistory(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for >64 ops")
+		}
+	}()
+	Check(make([]Op, 65), QueueModel())
+}

@@ -1,0 +1,231 @@
+package locks
+
+import (
+	"testing"
+
+	"leaserelease/internal/machine"
+)
+
+// exerciseMutex runs `cores` threads each incrementing a plain (non-atomic)
+// shared counter `per` times under the provided lock/unlock and checks the
+// exact final count — any mutual-exclusion failure loses increments.
+func exerciseMutex(t *testing.T, cores, per int,
+	setup func(d *machine.Direct) (lock func(*machine.Ctx), unlock func(*machine.Ctx))) {
+	t.Helper()
+	m := machine.New(machine.DefaultConfig(cores))
+	d := m.Direct()
+	ctr := d.Alloc(8)
+	lock, unlock := setup(d)
+	for i := 0; i < cores; i++ {
+		m.Spawn(0, func(c *machine.Ctx) {
+			for n := 0; n < per; n++ {
+				lock(c)
+				c.Store(ctr, c.Load(ctr)+1)
+				c.Work(20)
+				unlock(c)
+				c.Work(uint64(c.Rand().Intn(30)))
+			}
+		})
+	}
+	if err := m.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Peek(ctr); got != uint64(cores*per) {
+		t.Fatalf("counter = %d, want %d: mutual exclusion violated", got, cores*per)
+	}
+}
+
+func TestTASMutex(t *testing.T) {
+	exerciseMutex(t, 8, 40, func(d *machine.Direct) (func(*machine.Ctx), func(*machine.Ctx)) {
+		l := NewTAS(d)
+		return func(c *machine.Ctx) { l.Lock(c) }, func(c *machine.Ctx) { l.Unlock(c) }
+	})
+}
+
+func TestTTSMutex(t *testing.T) {
+	exerciseMutex(t, 8, 40, func(d *machine.Direct) (func(*machine.Ctx), func(*machine.Ctx)) {
+		l := NewTTS(d)
+		return func(c *machine.Ctx) { l.Lock(c) }, func(c *machine.Ctx) { l.Unlock(c) }
+	})
+}
+
+func TestTicketMutex(t *testing.T) {
+	exerciseMutex(t, 8, 40, func(d *machine.Direct) (func(*machine.Ctx), func(*machine.Ctx)) {
+		l := NewTicket(d)
+		return func(c *machine.Ctx) { l.Lock(c) }, func(c *machine.Ctx) { l.Unlock(c) }
+	})
+}
+
+func TestCLHMutex(t *testing.T) {
+	m := machine.New(machine.DefaultConfig(8))
+	d := m.Direct()
+	ctr := d.Alloc(8)
+	l := NewCLH(d)
+	const per = 40
+	for i := 0; i < 8; i++ {
+		m.Spawn(0, func(c *machine.Ctx) {
+			h := l.NewHandle(c)
+			for n := 0; n < per; n++ {
+				l.Lock(c, h)
+				c.Store(ctr, c.Load(ctr)+1)
+				c.Work(20)
+				l.Unlock(c, h)
+			}
+		})
+	}
+	if err := m.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Peek(ctr); got != 8*per {
+		t.Fatalf("counter = %d, want %d", got, 8*per)
+	}
+}
+
+func TestLeasedTTSMutex(t *testing.T) {
+	exerciseMutex(t, 8, 40, func(d *machine.Direct) (func(*machine.Ctx), func(*machine.Ctx)) {
+		l := NewLeased(NewTTS(d), 20000)
+		return func(c *machine.Ctx) { l.Lock(c) }, func(c *machine.Ctx) { l.Unlock(c) }
+	})
+}
+
+func TestLeasedTASMutex(t *testing.T) {
+	exerciseMutex(t, 6, 30, func(d *machine.Direct) (func(*machine.Ctx), func(*machine.Ctx)) {
+		l := NewLeased(NewTAS(d), 20000)
+		return func(c *machine.Ctx) { l.Lock(c) }, func(c *machine.Ctx) { l.Unlock(c) }
+	})
+}
+
+func TestTryLockSemantics(t *testing.T) {
+	m := machine.New(machine.DefaultConfig(1))
+	d := m.Direct()
+	tts := NewTTS(d)
+	ticket := NewTicket(d)
+	var ttsFirst, ttsSecond, tktFirst, tktSecond, afterUnlock bool
+	m.Spawn(0, func(c *machine.Ctx) {
+		ttsFirst = tts.TryLock(c)
+		ttsSecond = tts.TryLock(c)
+		tts.Unlock(c)
+		tktFirst = ticket.TryLock(c)
+		tktSecond = ticket.TryLock(c)
+		ticket.Unlock(c)
+		afterUnlock = ticket.TryLock(c)
+	})
+	if err := m.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if !ttsFirst || ttsSecond {
+		t.Fatalf("TTS TryLock = %v,%v, want true,false", ttsFirst, ttsSecond)
+	}
+	if !tktFirst || tktSecond || !afterUnlock {
+		t.Fatalf("Ticket TryLock = %v,%v,%v, want true,false,true", tktFirst, tktSecond, afterUnlock)
+	}
+}
+
+// TestLeasedFailedTryLockDropsLease: per §6, a failed try_lock must drop
+// the lease immediately so the holder's unlock is not delayed. The holder
+// uses the raw lock (no lease) so the contender's lease is granted while
+// the lock is still locked.
+func TestLeasedFailedTryLockDropsLease(t *testing.T) {
+	m := machine.New(machine.DefaultConfig(2))
+	d := m.Direct()
+	inner := NewTTS(d)
+	l := NewLeased(inner, 20000)
+	var triedAt, failedTryHeldLease, unlocked = false, false, false
+	m.Spawn(0, func(c *machine.Ctx) {
+		if !inner.TryLock(c) {
+			t.Error("first TryLock failed")
+			return
+		}
+		c.Work(50000)
+		inner.Unlock(c)
+		unlocked = true
+	})
+	m.Spawn(500, func(c *machine.Ctx) {
+		if l.TryLock(c) {
+			t.Error("TryLock succeeded while lock held")
+			return
+		}
+		triedAt = true
+		failedTryHeldLease = c.LeaseHeld(l.Addr())
+	})
+	if err := m.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if !triedAt {
+		t.Fatal("contender never ran")
+	}
+	if failedTryHeldLease {
+		t.Fatal("lease retained after failed TryLock")
+	}
+	if !unlocked {
+		t.Fatal("holder never unlocked")
+	}
+}
+
+// TestLeasedUnlockIsLocal: with the lease held, the unlock's store must be
+// an L1 hit (no extra miss on the lock line while leased).
+func TestLeasedUnlockIsLocal(t *testing.T) {
+	m := machine.New(machine.DefaultConfig(2))
+	d := m.Direct()
+	l := NewLeased(NewTTS(d), 20000)
+	probeAddr := l.Addr()
+	var missesBefore, missesAfter uint64
+	m.Spawn(0, func(c *machine.Ctx) {
+		l.Lock(c)
+		c.Work(4000) // let the contender's probe arrive and queue
+		c.Fence()
+		missesBefore = m.Stats().L1Misses
+		l.Unlock(c)
+		c.Fence()
+		missesAfter = m.Stats().L1Misses
+	})
+	m.Spawn(200, func(c *machine.Ctx) {
+		c.Load(probeAddr) // contends on the lock line
+	})
+	if err := m.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if missesAfter != missesBefore {
+		t.Fatalf("unlock caused %d L1 misses; lease should keep ownership", missesAfter-missesBefore)
+	}
+}
+
+// TestTicketFairness: under heavy contention every thread makes progress
+// (FIFO order implies bounded difference in acquisition counts).
+func TestTicketFairness(t *testing.T) {
+	const cores = 6
+	m := machine.New(machine.DefaultConfig(cores))
+	d := m.Direct()
+	l := NewTicket(d)
+	counts := make([]int, cores)
+	for i := 0; i < cores; i++ {
+		i := i
+		m.Spawn(0, func(c *machine.Ctx) {
+			for {
+				l.Lock(c)
+				counts[i]++
+				c.Work(50)
+				l.Unlock(c)
+			}
+		})
+	}
+	if err := m.Run(400000); err != nil {
+		t.Fatal(err)
+	}
+	m.Stop()
+	min, max := counts[0], counts[0]
+	for _, n := range counts {
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if min == 0 {
+		t.Fatalf("starved thread under ticket lock: %v", counts)
+	}
+	if max > 3*min {
+		t.Fatalf("ticket lock unfair: %v", counts)
+	}
+}

@@ -1,0 +1,83 @@
+package locks
+
+import (
+	"testing"
+
+	"leaserelease/internal/machine"
+)
+
+func TestMCSMutex(t *testing.T) {
+	const cores, per = 8, 40
+	m := machine.New(machine.DefaultConfig(cores))
+	d := m.Direct()
+	ctr := d.Alloc(8)
+	l := NewMCS(d)
+	for i := 0; i < cores; i++ {
+		m.Spawn(0, func(c *machine.Ctx) {
+			h := l.NewHandle(c)
+			for n := 0; n < per; n++ {
+				l.Lock(c, h)
+				c.Store(ctr, c.Load(ctr)+1)
+				c.Work(20)
+				l.Unlock(c, h)
+				c.Work(uint64(c.Rand().Intn(30)))
+			}
+		})
+	}
+	if err := m.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Peek(ctr); got != cores*per {
+		t.Fatalf("counter = %d, want %d", got, cores*per)
+	}
+}
+
+func TestMCSUncontendedFastPath(t *testing.T) {
+	m := machine.New(machine.DefaultConfig(1))
+	d := m.Direct()
+	l := NewMCS(d)
+	done := false
+	m.Spawn(0, func(c *machine.Ctx) {
+		h := l.NewHandle(c)
+		for i := 0; i < 10; i++ {
+			l.Lock(c, h)
+			l.Unlock(c, h)
+		}
+		done = true
+	})
+	if err := m.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("single-thread lock/unlock did not complete")
+	}
+}
+
+func TestMCSHandoffNoStarvation(t *testing.T) {
+	const cores = 6
+	m := machine.New(machine.DefaultConfig(cores))
+	d := m.Direct()
+	l := NewMCS(d)
+	counts := make([]int, cores)
+	for i := 0; i < cores; i++ {
+		i := i
+		m.Spawn(0, func(c *machine.Ctx) {
+			h := l.NewHandle(c)
+			for {
+				l.Lock(c, h)
+				counts[i]++
+				c.Work(40)
+				l.Unlock(c, h)
+			}
+		})
+	}
+	if err := m.Run(300000); err != nil {
+		t.Fatal(err)
+	}
+	m.Stop()
+	for i, n := range counts {
+		if n == 0 {
+			t.Fatalf("thread %d starved under MCS: %v", i, counts)
+		}
+	}
+}

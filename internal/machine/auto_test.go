@@ -1,0 +1,107 @@
+package machine
+
+import "testing"
+
+// TestAutoLearnsLoadCASPattern: a hot load→CAS line gets leases inserted
+// after the learning phase, and CAS failures disappear.
+func TestAutoLearnsLoadCASPattern(t *testing.T) {
+	run := func(auto bool) (casFails, inserted uint64) {
+		m := New(testConfig(8))
+		head := m.Direct().Alloc(8)
+		var autos []*Auto
+		for i := 0; i < 8; i++ {
+			m.Spawn(0, func(c *Ctx) {
+				var x API = c
+				if auto {
+					a := NewAuto(c, 20000)
+					autos = append(autos, a)
+					x = a
+				}
+				for {
+					// Plain Treiber-style read-CAS loop, no manual leases.
+					for {
+						v := x.Load(head)
+						if x.CAS(head, v, v+1) {
+							break
+						}
+					}
+					x.Work(x.Rand().Uint64n(32))
+				}
+			})
+		}
+		if err := m.Run(400000); err != nil {
+			t.Fatal(err)
+		}
+		m.Stop()
+		var ins uint64
+		for _, a := range autos {
+			ins += a.Inserted
+		}
+		return m.Stats().CASFailures, ins
+	}
+	baseFails, _ := run(false)
+	autoFails, inserted := run(true)
+	if baseFails == 0 {
+		t.Fatal("no CAS failures without auto-leases; contention model broken")
+	}
+	if inserted == 0 {
+		t.Fatal("Auto never inserted a lease on a hot load-CAS line")
+	}
+	if autoFails*5 > baseFails {
+		t.Fatalf("auto-lease CAS failures %d vs base %d: pattern not protected",
+			autoFails, baseFails)
+	}
+}
+
+// TestAutoHarmlessOnReadOnly: lines that are only read never get leases.
+func TestAutoHarmlessOnReadOnly(t *testing.T) {
+	m := New(testConfig(2))
+	a := m.Direct().Alloc(8)
+	var inserted uint64
+	for i := 0; i < 2; i++ {
+		m.Spawn(0, func(c *Ctx) {
+			au := NewAuto(c, 20000)
+			for n := 0; n < 200; n++ {
+				au.Load(a)
+				au.Work(10)
+			}
+			inserted += au.Inserted
+		})
+	}
+	if err := m.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if inserted != 0 {
+		t.Fatalf("Auto inserted %d leases on a read-only line", inserted)
+	}
+}
+
+// TestAutoCorrectness: results under Auto match plain execution exactly
+// (advisory property) — counter sums come out right.
+func TestAutoCorrectness(t *testing.T) {
+	const cores, per = 6, 60
+	m := New(testConfig(cores))
+	ctr := m.Direct().Alloc(8)
+	for i := 0; i < cores; i++ {
+		m.Spawn(0, func(c *Ctx) {
+			au := NewAuto(c, 20000)
+			for n := 0; n < per; n++ {
+				for {
+					v := au.Load(ctr)
+					if au.CAS(ctr, v, v+1) {
+						break
+					}
+				}
+			}
+		})
+	}
+	if err := m.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Peek(ctr); got != cores*per {
+		t.Fatalf("counter = %d, want %d", got, cores*per)
+	}
+	if err := m.VerifyCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,87 @@
+package machine
+
+import (
+	"testing"
+
+	"leaserelease/internal/mem"
+)
+
+// TestCoherenceInvariantAfterStress drives mixed random traffic (reads,
+// writes, CASes, leases, multileases) across many lines and verifies the
+// single-writer / directory-consistency invariant at the end.
+func TestCoherenceInvariantAfterStress(t *testing.T) {
+	const cores, lines, opsPer = 10, 24, 200
+	m := New(testConfig(cores))
+	d := m.Direct()
+	addrs := make([]mem.Addr, lines)
+	for i := range addrs {
+		addrs[i] = d.Alloc(8)
+	}
+	for i := 0; i < cores; i++ {
+		m.Spawn(0, func(c *Ctx) {
+			for n := 0; n < opsPer; n++ {
+				a := addrs[c.Rand().Intn(lines)]
+				switch c.Rand().Intn(6) {
+				case 0:
+					c.Load(a)
+				case 1:
+					c.Store(a, c.Rand().Next())
+				case 2:
+					c.CAS(a, c.Load(a), c.Rand().Next())
+				case 3:
+					c.FetchAdd(a, 1)
+				case 4:
+					c.Lease(a, 500)
+					c.Load(a)
+					c.Work(uint64(c.Rand().Intn(800))) // sometimes expires
+					c.Release(a)
+				case 5:
+					b := addrs[c.Rand().Intn(lines)]
+					c.MultiLease(500, a, b)
+					c.Store(a, 1)
+					c.ReleaseAll()
+				}
+			}
+		})
+	}
+	if err := m.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.VerifyCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoherenceInvariantWithEvictions thrashes one cache set so lines are
+// evicted (including dirty writebacks) and re-fetched, then verifies.
+func TestCoherenceInvariantWithEvictions(t *testing.T) {
+	const cores = 4
+	m := New(testConfig(cores))
+	cfg := m.Config()
+	sets := cfg.L1.SizeBytes / mem.LineSize / cfg.L1.Ways
+	d := m.Direct()
+	n := cfg.L1.Ways * 3
+	base := d.Alloc(uint64(n * sets * mem.LineSize))
+	addrs := make([]mem.Addr, n)
+	for i := range addrs {
+		addrs[i] = base + mem.Addr(i*sets*mem.LineSize)
+	}
+	for i := 0; i < cores; i++ {
+		m.Spawn(0, func(c *Ctx) {
+			for k := 0; k < 150; k++ {
+				a := addrs[c.Rand().Intn(n)]
+				if c.Rand().Intn(2) == 0 {
+					c.Store(a, c.Rand().Next())
+				} else {
+					c.Load(a)
+				}
+			}
+		})
+	}
+	if err := m.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.VerifyCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,98 @@
+package machine
+
+import (
+	"leaserelease/internal/cache"
+	"leaserelease/internal/coherence"
+	"leaserelease/internal/core"
+)
+
+// Config describes a simulated machine. The defaults reproduce the paper's
+// Table 1 system configuration.
+type Config struct {
+	// Cores is the number of simulated cores (= threads; one thread per
+	// core, as in the paper's experiments). At most 64.
+	Cores int
+
+	// ClockHz is the core clock (Table 1: 1 GHz). Used only to convert
+	// cycles to seconds when reporting throughput.
+	ClockHz uint64
+
+	// L1 sizes each core's private L1 data cache.
+	L1 cache.Config
+
+	// L1HitLat is the L1 access latency in cycles (Table 1: 1 cycle).
+	L1HitLat uint64
+
+	// Timing holds L2/directory/network/DRAM latencies.
+	Timing coherence.Timing
+
+	// Lease bounds the Lease/Release mechanism (MAX_LEASE_TIME,
+	// MAX_NUM_LEASES).
+	Lease core.Config
+
+	// MESI enables MESI-style Exclusive-clean read fills (§8 "Other
+	// Protocols"): a sole reader is granted exclusive state, making its
+	// first write a silent upgrade.
+	MESI bool
+
+	// RegularBreaksLease enables the §5 prioritization optimization:
+	// a non-lease ("regular") coherence request automatically breaks an
+	// existing lease instead of being queued, while lease-initiated
+	// requests still queue.
+	RegularBreaksLease bool
+
+	// SoftLeaseStagger is the X parameter of the software MultiLease
+	// emulation (§4): the j-th outer lease is requested for time + j·X,
+	// where X approximates the time to fulfil an ownership request.
+	SoftLeaseStagger uint64
+
+	// SoftLeaseOverhead charges the software MultiLease emulation's
+	// per-line instruction cost (sorting, group-id bookkeeping) — the
+	// "extra software operations" of §7 that make it slightly slower
+	// than the hardware MultiLease.
+	SoftLeaseOverhead uint64
+
+	// Predictor configures the §5 speculative mechanism that ignores
+	// leases at sites with frequent involuntary releases.
+	Predictor PredictorConfig
+
+	// Energy is the event-count energy model.
+	Energy EnergyModel
+
+	// Seed derives each core's deterministic RNG stream.
+	Seed uint64
+}
+
+// EnergyModel assigns an energy cost (nanojoules) to each counted event.
+// The absolute values are synthetic; the paper's energy results track
+// coherence messages and cache misses, which dominate here too.
+type EnergyModel struct {
+	MsgNJ  float64 // per coherence message
+	L1NJ   float64 // per L1 access (hit or miss lookup)
+	L2NJ   float64 // per L2 data access
+	DRAMNJ float64 // per DRAM access
+}
+
+// DefaultEnergy returns plausible per-event energies for a 2016-era CMP.
+func DefaultEnergy() EnergyModel {
+	return EnergyModel{MsgNJ: 0.5, L1NJ: 0.1, L2NJ: 0.8, DRAMNJ: 15}
+}
+
+// DefaultConfig reproduces the paper's simulated system (Table 1) for the
+// given core count: 1 GHz in-order cores, 32 KB 4-way L1 (1 cycle), shared
+// L2 with 3/8-cycle tag/data, directory MSI, MAX_LEASE_TIME = 20K cycles.
+func DefaultConfig(cores int) Config {
+	return Config{
+		Cores:             cores,
+		ClockHz:           1_000_000_000,
+		L1:                cache.DefaultConfig(),
+		L1HitLat:          1,
+		Timing:            coherence.DefaultTiming(),
+		Lease:             core.DefaultConfig(),
+		SoftLeaseStagger:  50,                       // ≈ one ownership-request round trip
+		SoftLeaseOverhead: 12,                       // sort + group bookkeeping per line
+		Predictor:         DefaultPredictorConfig(), // Enable defaults to false
+		Energy:            DefaultEnergy(),
+		Seed:              1,
+	}
+}

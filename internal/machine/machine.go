@@ -1,0 +1,326 @@
+// Package machine assembles the full simulated multicore: event engine,
+// per-core L1 caches and lease tables, the directory MSI protocol, the
+// backing store, and the Ctx instruction-set surface that simulated
+// programs are written against.
+//
+// It corresponds to the paper's modified Graphite setup: "we extended the
+// L1 cache controller logic (at the cores) to implement memory leases. As
+// such, the directory did not have to be modified in any way." Here, too,
+// all lease logic lives on the core side (DeliverProbe, release paths);
+// the coherence.Directory is lease-agnostic apart from waiting for
+// ProbeDone.
+package machine
+
+import (
+	"fmt"
+
+	"leaserelease/internal/cache"
+	"leaserelease/internal/coherence"
+	"leaserelease/internal/core"
+	"leaserelease/internal/mem"
+	"leaserelease/internal/sim"
+)
+
+// Machine is one simulated multicore chip.
+type Machine struct {
+	cfg   Config
+	eng   *sim.Engine
+	store mem.Store
+	alloc *mem.Allocator
+	dir   *coherence.Directory
+	cores []*coreState
+
+	stats   Stats // machine-level counters (caches keep their own)
+	spawned int
+	tracer  func(TraceEvent)
+}
+
+type coreState struct {
+	id     int
+	l1     *cache.Cache
+	leases *core.Table
+	proc   *sim.Proc
+	pred   *leasePredictor
+}
+
+// New builds a machine from cfg.
+func New(cfg Config) *Machine {
+	if cfg.Cores <= 0 || cfg.Cores > 64 {
+		panic("machine: Cores must be in 1..64")
+	}
+	m := &Machine{
+		cfg:   cfg,
+		eng:   sim.NewEngine(),
+		alloc: mem.NewAllocator(),
+	}
+	m.dir = coherence.NewDirectory(m.eng, (*dirEnv)(m), cfg.Timing)
+	m.dir.MESI = cfg.MESI
+	m.cores = make([]*coreState, cfg.Cores)
+	for i := range m.cores {
+		m.cores[i] = &coreState{
+			id:     i,
+			l1:     cache.New(cfg.L1),
+			leases: core.NewTable(cfg.Lease),
+			pred:   newLeasePredictor(cfg.Predictor),
+		}
+	}
+	return m
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Now returns the current simulated time in cycles.
+func (m *Machine) Now() uint64 { return m.eng.Now() }
+
+// Seconds converts a cycle count to seconds at the configured clock.
+func (m *Machine) Seconds(cycles uint64) float64 {
+	return float64(cycles) / float64(m.cfg.ClockHz)
+}
+
+// Spawn starts a simulated thread running fn on the next free core at time
+// start. It panics if all cores are occupied.
+func (m *Machine) Spawn(start uint64, fn func(*Ctx)) {
+	if m.spawned >= len(m.cores) {
+		panic("machine: more threads than cores")
+	}
+	cs := m.cores[m.spawned]
+	id := m.spawned
+	m.spawned++
+	cs.proc = m.eng.Spawn(id, start, m.cfg.Seed*1_000_003+uint64(id)*2_654_435_761+1, func(p *sim.Proc) {
+		fn(&Ctx{m: m, cs: cs, p: p})
+	})
+}
+
+// Run advances the simulation until the given absolute cycle (or until all
+// threads finish). It returns a *sim.DeadlockError if the simulation
+// deadlocks — which Lease/Release guarantees cannot happen unless the
+// protocol is misused (see the unsorted-multilease negative test).
+func (m *Machine) Run(untilCycle uint64) error { return m.eng.Run(untilCycle) }
+
+// Drain runs until all threads finish.
+func (m *Machine) Drain() error { return m.eng.Drain() }
+
+// Stop tears down all still-blocked threads. Call after the final Run so
+// machines do not leak goroutines.
+func (m *Machine) Stop() { m.eng.KillAll() }
+
+// Stats returns a snapshot of all hardware counters.
+func (m *Machine) Stats() Stats {
+	s := m.stats
+	s.Cycles = m.eng.Now()
+	for _, c := range m.cores {
+		s.L1Hits += c.l1.Hits
+		s.L1Misses += c.l1.Misses
+	}
+	s.DeferredProbes = m.dir.DeferredProbes
+	s.MaxDirQueue = m.dir.MaxQueue
+	return s
+}
+
+// Directory exposes the directory for tests and diagnostics.
+func (m *Machine) Directory() *coherence.Directory { return m.dir }
+
+// VerifyCoherence cross-checks every tracked line's directory state
+// against the cores' L1 states: a Modified line has exactly one holder
+// (the recorded owner), a Shared line has no Modified holder and only
+// recorded sharers, an Invalid line is cached nowhere. Lines with
+// in-flight transactions are skipped. Call when the simulation is
+// quiescent (after Run/Drain); it returns the first violation found.
+func (m *Machine) VerifyCoherence() error {
+	var err error
+	m.dir.ForEachLine(func(l mem.Line, state string, owner int, sharers uint64, busy bool) {
+		if err != nil || busy {
+			return
+		}
+		for _, c := range m.cores {
+			st := c.l1.State(l)
+			switch state {
+			case "M":
+				if st == cache.Modified && c.id != owner {
+					err = fmt.Errorf("line %#x: dir owner %d but core %d holds M", uint64(l), owner, c.id)
+				}
+				if st == cache.Shared {
+					err = fmt.Errorf("line %#x: dir M but core %d holds S", uint64(l), c.id)
+				}
+			case "S":
+				if st == cache.Modified {
+					err = fmt.Errorf("line %#x: dir S but core %d holds M", uint64(l), c.id)
+				}
+				if st == cache.Shared && sharers&(1<<uint(c.id)) == 0 {
+					err = fmt.Errorf("line %#x: core %d holds S but is not a recorded sharer", uint64(l), c.id)
+				}
+			case "I":
+				if st != cache.Invalid {
+					err = fmt.Errorf("line %#x: dir I but core %d holds %v", uint64(l), c.id, st)
+				}
+			}
+		}
+	})
+	return err
+}
+
+// Peek reads a word directly from the backing store (setup/verification
+// only; no timing, no coherence).
+func (m *Machine) Peek(a mem.Addr) uint64 { return m.store.Load(a) }
+
+// Poke writes a word directly to the backing store (setup only; must not
+// be used once lines may be cached).
+func (m *Machine) Poke(a mem.Addr, v uint64) { m.store.Store(a, v) }
+
+// ---- lease-side mechanics shared by Ctx ops, probes, and timers ----
+
+// serveDeferred delivers the (at most one) probe deferred on a released
+// lease entry: downgrade the local copy and let the directory finish the
+// stalled transaction.
+func (m *Machine) serveDeferred(cs *coreState, e *core.Entry) {
+	p := e.TakeProbe()
+	if p == nil {
+		return
+	}
+	req := p.(*coherence.Request)
+	to := cache.Shared
+	if req.Excl {
+		to = cache.Invalid
+	}
+	cs.l1.Downgrade(req.Line, to)
+	m.dir.ProbeDone(req)
+}
+
+// scheduleExpiry arms the involuntary-release timer for a started lease.
+// Cancellation is lazy: the timer checks the entry generation.
+func (m *Machine) scheduleExpiry(cs *coreState, e *core.Entry) {
+	line, gen := e.Line, e.Gen
+	m.eng.At(e.Deadline, func() {
+		x := cs.leases.RemoveIfGen(line, gen)
+		if x == nil {
+			return // released voluntarily (or evicted) in the meantime
+		}
+		m.stats.InvoluntaryReleases++
+		m.trace(cs.id, TraceInvoluntary, line)
+		cs.pred.record(x.Site, false)
+		cs.l1.Unpin(line)
+		m.serveDeferred(cs, x)
+	})
+}
+
+// releaseEntry performs the core-side actions of a voluntary-class release
+// (voluntary, FIFO eviction, ReleaseAll): unpin and service the probe.
+func (m *Machine) releaseEntry(cs *coreState, e *core.Entry) {
+	cs.pred.record(e.Site, true)
+	cs.l1.Unpin(e.Line)
+	m.serveDeferred(cs, e)
+}
+
+// installLine places a granted line into the core's L1, force-releasing
+// leases if the target set is fully pinned, and notifying the directory of
+// dirty evictions.
+func (m *Machine) installLine(cs *coreState, l mem.Line, st cache.State) {
+	for {
+		_, _, allPinned := cs.l1.Victim(l)
+		if !allPinned {
+			break
+		}
+		e := cs.leases.RemoveOldest()
+		if e == nil {
+			panic("machine: L1 set fully pinned but lease table empty")
+		}
+		m.stats.ForcedReleases++
+		m.trace(cs.id, TraceForced, e.Line)
+		m.releaseEntry(cs, e)
+	}
+	victim, vst, evicted := cs.l1.Install(l, st)
+	if !evicted {
+		return
+	}
+	switch vst {
+	case cache.Modified:
+		m.dir.Writeback(cs.id, victim)
+	case cache.Shared:
+		m.dir.SharerDrop(cs.id, victim)
+	}
+}
+
+// ---- coherence.Env implementation ----
+//
+// dirEnv is Machine under a separate method set so that the Env methods do
+// not pollute Machine's public API.
+type dirEnv Machine
+
+func (d *dirEnv) m() *Machine { return (*Machine)(d) }
+
+// DeliverProbe implements the lease check of Algorithm 1 ("upon event
+// Coherence-Probe"): a probe hitting an active lease is queued at the core
+// until the lease is released or expires.
+func (d *dirEnv) DeliverProbe(owner int, req *coherence.Request) bool {
+	m := d.m()
+	cs := m.cores[owner]
+	if cs.leases.ShouldDefer(req.Line, m.eng.Now()) {
+		if m.cfg.RegularBreaksLease && !req.Lease {
+			// §5 prioritization: a regular request breaks the lease.
+			e := cs.leases.Remove(req.Line)
+			m.stats.BrokenLeases++
+			m.trace(owner, TraceBroken, req.Line)
+			cs.l1.Unpin(req.Line)
+			if e.HasProbe() {
+				panic("machine: broken lease already had a deferred probe (violates Proposition 1)")
+			}
+		} else {
+			cs.leases.QueueProbe(req.Line, req)
+			m.trace(owner, TraceDeferred, req.Line)
+			return true
+		}
+	}
+	to := cache.Shared
+	if req.Excl {
+		to = cache.Invalid
+	}
+	cs.l1.Downgrade(req.Line, to)
+	return false
+}
+
+func (d *dirEnv) Invalidate(c int, l mem.Line) {
+	d.m().cores[c].l1.Downgrade(l, cache.Invalid)
+}
+
+// Complete installs the granted line, starts a pending lease countdown if
+// the transaction was lease-initiated, and resumes the stalled thread.
+func (d *dirEnv) Complete(req *coherence.Request, st cache.State) {
+	m := d.m()
+	cs := m.cores[req.Core]
+	m.installLine(cs, req.Line, st)
+	if req.Lease {
+		if e := cs.leases.Find(req.Line); e != nil {
+			if e.InGroup {
+				// Group countdowns start jointly once the whole group
+				// is owned (Ctx.MultiLease drives StartGroup).
+				cs.l1.Pin(req.Line)
+			} else if started := cs.leases.Start(req.Line, m.eng.Now()); started != nil {
+				cs.l1.Pin(req.Line)
+				m.trace(cs.id, TraceStart, req.Line)
+				m.scheduleExpiry(cs, started)
+			}
+		}
+	}
+	cs.proc.WakeAt(m.eng.Now())
+}
+
+func (d *dirEnv) CountMsg(kind coherence.MsgKind, n int) {
+	d.m().stats.Msgs[kind] += uint64(n)
+}
+
+func (d *dirEnv) CountL2()   { d.m().stats.L2Accesses++ }
+func (d *dirEnv) CountDRAM() { d.m().stats.DRAMAccesses++ }
+
+var _ coherence.Env = (*dirEnv)(nil)
+
+func describeReq(req *coherence.Request) string {
+	kind := "GetS"
+	if req.Excl {
+		kind = "GetX"
+	}
+	if req.Lease {
+		kind += "(lease)"
+	}
+	return fmt.Sprintf("waiting for %s on line %#x", kind, uint64(req.Line))
+}

@@ -1,0 +1,107 @@
+package machine
+
+import "testing"
+
+// TestMESIExclusiveFill: under MESI, a sole reader's first write is a
+// silent upgrade (L1 hit); under MSI it needs an upgrade transaction.
+func TestMESIExclusiveFill(t *testing.T) {
+	run := func(mesi bool) uint64 {
+		cfg := testConfig(2)
+		cfg.MESI = mesi
+		m := New(cfg)
+		a := m.Direct().Alloc(8)
+		m.Spawn(0, func(c *Ctx) {
+			c.Load(a)     // fill (sole reader)
+			c.Store(a, 1) // write to the same line
+		})
+		if err := m.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		return m.Stats().L1Misses
+	}
+	msi, mesi := run(false), run(true)
+	if mesi != 1 {
+		t.Fatalf("MESI misses = %d, want 1 (silent upgrade)", mesi)
+	}
+	if msi != 2 {
+		t.Fatalf("MSI misses = %d, want 2 (read fill + upgrade)", msi)
+	}
+}
+
+// TestMESISharedReadersStillShared: with a second reader, fills degrade to
+// Shared and a write still upgrades.
+func TestMESISharedReadersStillShared(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.MESI = true
+	m := New(cfg)
+	a := m.Direct().Alloc(8)
+	var v0, v1 uint64
+	m.Spawn(0, func(c *Ctx) {
+		v0 = c.Load(a)
+		c.Work(2000)
+		c.Store(a, 7)
+	})
+	m.Spawn(100, func(c *Ctx) {
+		v1 = c.Load(a) // second reader: probe downgrades core 0 to S
+		c.Work(5000)
+		v1 = c.Load(a) // may have been invalidated by core 0's store
+	})
+	if err := m.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.VerifyCoherence(); err != nil {
+		t.Fatal(err)
+	}
+	if v0 != 0 || v1 != 7 {
+		t.Fatalf("v0=%d v1=%d, want 0, 7", v0, v1)
+	}
+}
+
+// TestMESIStressInvariant reruns the random stress mix under MESI and
+// checks the coherence invariant plus CAS atomicity.
+func TestMESIStressInvariant(t *testing.T) {
+	cfg := testConfig(8)
+	cfg.MESI = true
+	m := New(cfg)
+	ctr := m.Direct().Alloc(8)
+	const per = 60
+	for i := 0; i < 8; i++ {
+		m.Spawn(0, func(c *Ctx) {
+			for n := 0; n < per; n++ {
+				switch c.Rand().Intn(3) {
+				case 0:
+					for {
+						v := c.Load(ctr)
+						if c.CAS(ctr, v, v+1) {
+							break
+						}
+					}
+				case 1:
+					c.Lease(ctr, 2000)
+					v := c.Load(ctr)
+					if !c.CAS(ctr, v, v+1) {
+						t.Error("leased CAS failed")
+					}
+					c.Release(ctr)
+				case 2:
+					for {
+						v := c.Load(ctr)
+						if c.CAS(ctr, v, v+1) {
+							break
+						}
+						c.Work(c.Rand().Uint64n(64))
+					}
+				}
+			}
+		})
+	}
+	if err := m.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.VerifyCoherence(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Peek(ctr); got != 8*per {
+		t.Fatalf("counter = %d, want %d", got, 8*per)
+	}
+}

@@ -1,0 +1,94 @@
+package machine
+
+// This file implements the §5 "Speculative Execution" suggestion: "a
+// speculative mechanism which keeps track of leases which cause frequent
+// involuntary releases, and ignores the corresponding lease. More
+// precisely, such a mechanism could track the program counter of the
+// lease [and] count the number of involuntary releases... If these numbers
+// exceed a set threshold, the lease is ignored."
+//
+// Sites stand in for program counters: programs pass a stable site id to
+// Ctx.LeaseAt. Plain Ctx.Lease uses site 0.
+
+// PredictorConfig tunes the per-core lease predictor.
+type PredictorConfig struct {
+	// Enable turns the predictor on.
+	Enable bool
+	// MinSamples is how many leases a site must take before it can be
+	// judged.
+	MinSamples uint64
+	// IgnorePermille blacklists a site once its involuntary-release rate
+	// exceeds this many per thousand leases.
+	IgnorePermille uint64
+	// RetryEvery re-samples a blacklisted site once every N skipped
+	// leases, so sites whose behaviour improves are rehabilitated.
+	RetryEvery uint64
+}
+
+// DefaultPredictorConfig mirrors the spirit of §5: ignore a site once
+// most of its leases expire involuntarily.
+func DefaultPredictorConfig() PredictorConfig {
+	return PredictorConfig{MinSamples: 16, IgnorePermille: 500, RetryEvery: 64}
+}
+
+type predictorSite struct {
+	leases  uint64
+	invol   uint64
+	skipped uint64
+}
+
+// leasePredictor is per-core (like the hardware table it models).
+type leasePredictor struct {
+	cfg   PredictorConfig
+	sites map[uint64]*predictorSite
+}
+
+func newLeasePredictor(cfg PredictorConfig) *leasePredictor {
+	return &leasePredictor{cfg: cfg, sites: make(map[uint64]*predictorSite)}
+}
+
+func (p *leasePredictor) site(id uint64) *predictorSite {
+	s, ok := p.sites[id]
+	if !ok {
+		s = &predictorSite{}
+		p.sites[id] = s
+	}
+	return s
+}
+
+// shouldIgnore reports whether a lease at this site should be skipped.
+func (p *leasePredictor) shouldIgnore(id uint64) bool {
+	if !p.cfg.Enable {
+		return false
+	}
+	s := p.site(id)
+	if s.leases < p.cfg.MinSamples {
+		return false
+	}
+	if s.invol*1000 <= s.leases*p.cfg.IgnorePermille {
+		return false
+	}
+	s.skipped++
+	if p.cfg.RetryEvery > 0 && s.skipped%p.cfg.RetryEvery == 0 {
+		return false // probation: take one lease to re-sample
+	}
+	return true
+}
+
+// record notes a completed lease at the site; voluntary=false means the
+// timer expired.
+func (p *leasePredictor) record(id uint64, voluntary bool) {
+	if !p.cfg.Enable {
+		return
+	}
+	s := p.site(id)
+	s.leases++
+	if !voluntary {
+		s.invol++
+	}
+	// Age the counters so the rate tracks recent behaviour.
+	if s.leases >= 1<<12 {
+		s.leases >>= 1
+		s.invol >>= 1
+	}
+}

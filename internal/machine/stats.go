@@ -1,0 +1,91 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+
+	"leaserelease/internal/coherence"
+)
+
+// Stats is a snapshot of the machine's hardware event counters. Subtract
+// two snapshots (Sub) to measure a window.
+type Stats struct {
+	Cycles uint64 // simulated time of the snapshot
+
+	L1Hits   uint64
+	L1Misses uint64
+
+	Msgs         [coherence.NumMsgKinds]uint64
+	L2Accesses   uint64
+	DRAMAccesses uint64
+
+	Leases              uint64 // Lease instructions that created an entry
+	MultiLeases         uint64 // MultiLease group acquisitions
+	VoluntaryReleases   uint64
+	InvoluntaryReleases uint64 // lease timers expired
+	EvictedLeases       uint64 // FIFO-evicted by a newer lease (full table)
+	ForcedReleases      uint64 // released to unpin a fully-pinned L1 set
+	BrokenLeases        uint64 // broken by a regular request (prioritization)
+	IgnoredLeases       uint64 // skipped by the §5 speculative predictor
+	DeferredProbes      uint64 // probes queued at a leased core
+
+	CASSuccesses uint64
+	CASFailures  uint64
+
+	MaxDirQueue int // peak per-line directory queue occupancy
+}
+
+// TotalMsgs returns the total coherence message count.
+func (s Stats) TotalMsgs() uint64 {
+	var n uint64
+	for _, m := range s.Msgs {
+		n += m
+	}
+	return n
+}
+
+// EnergyNJ evaluates the energy model over the counted events.
+func (s Stats) EnergyNJ(e EnergyModel) float64 {
+	return e.MsgNJ*float64(s.TotalMsgs()) +
+		e.L1NJ*float64(s.L1Hits+s.L1Misses) +
+		e.L2NJ*float64(s.L2Accesses) +
+		e.DRAMNJ*float64(s.DRAMAccesses)
+}
+
+// Sub returns the per-window delta s - prev. MaxDirQueue is not a counter
+// and is carried over from s.
+func (s Stats) Sub(prev Stats) Stats {
+	d := s
+	d.Cycles -= prev.Cycles
+	d.L1Hits -= prev.L1Hits
+	d.L1Misses -= prev.L1Misses
+	for i := range d.Msgs {
+		d.Msgs[i] -= prev.Msgs[i]
+	}
+	d.L2Accesses -= prev.L2Accesses
+	d.DRAMAccesses -= prev.DRAMAccesses
+	d.Leases -= prev.Leases
+	d.MultiLeases -= prev.MultiLeases
+	d.VoluntaryReleases -= prev.VoluntaryReleases
+	d.InvoluntaryReleases -= prev.InvoluntaryReleases
+	d.EvictedLeases -= prev.EvictedLeases
+	d.ForcedReleases -= prev.ForcedReleases
+	d.BrokenLeases -= prev.BrokenLeases
+	d.IgnoredLeases -= prev.IgnoredLeases
+	d.DeferredProbes -= prev.DeferredProbes
+	d.CASSuccesses -= prev.CASSuccesses
+	d.CASFailures -= prev.CASFailures
+	return d
+}
+
+// String renders a compact multi-line summary.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles=%d l1hit=%d l1miss=%d msgs=%d l2=%d dram=%d\n",
+		s.Cycles, s.L1Hits, s.L1Misses, s.TotalMsgs(), s.L2Accesses, s.DRAMAccesses)
+	fmt.Fprintf(&b, "leases=%d multi=%d volrel=%d involrel=%d evicted=%d forced=%d broken=%d ignored=%d deferred=%d\n",
+		s.Leases, s.MultiLeases, s.VoluntaryReleases, s.InvoluntaryReleases,
+		s.EvictedLeases, s.ForcedReleases, s.BrokenLeases, s.IgnoredLeases, s.DeferredProbes)
+	fmt.Fprintf(&b, "cas ok=%d fail=%d maxdirq=%d", s.CASSuccesses, s.CASFailures, s.MaxDirQueue)
+	return b.String()
+}

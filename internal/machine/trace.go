@@ -1,0 +1,79 @@
+package machine
+
+import (
+	"fmt"
+
+	"leaserelease/internal/mem"
+)
+
+// TraceKind classifies lease-mechanism events for tracing.
+type TraceKind int
+
+const (
+	// TraceLease: a lease entry was created.
+	TraceLease TraceKind = iota
+	// TraceStart: a lease countdown started (ownership granted).
+	TraceStart
+	// TraceVoluntary: released by the program before expiry.
+	TraceVoluntary
+	// TraceInvoluntary: the MAX_LEASE_TIME timer fired.
+	TraceInvoluntary
+	// TraceEvicted: FIFO-evicted by a newer lease (table full).
+	TraceEvicted
+	// TraceForced: force-released to unpin a full L1 set.
+	TraceForced
+	// TraceBroken: broken by a regular request (prioritization mode).
+	TraceBroken
+	// TraceDeferred: an incoming probe was queued behind the lease.
+	TraceDeferred
+	// TraceIgnored: skipped by the speculative predictor.
+	TraceIgnored
+)
+
+func (k TraceKind) String() string {
+	switch k {
+	case TraceLease:
+		return "lease"
+	case TraceStart:
+		return "start"
+	case TraceVoluntary:
+		return "release"
+	case TraceInvoluntary:
+		return "expire"
+	case TraceEvicted:
+		return "evict"
+	case TraceForced:
+		return "force"
+	case TraceBroken:
+		return "break"
+	case TraceDeferred:
+		return "defer"
+	case TraceIgnored:
+		return "ignore"
+	}
+	return fmt.Sprintf("TraceKind(%d)", int(k))
+}
+
+// TraceEvent is one lease-mechanism event.
+type TraceEvent struct {
+	Time uint64
+	Core int
+	Kind TraceKind
+	Line mem.Line
+}
+
+// String renders the event as one log line.
+func (e TraceEvent) String() string {
+	return fmt.Sprintf("[%10d] core %2d %-7s line %#x", e.Time, e.Core, e.Kind, uint64(e.Line))
+}
+
+// SetTracer installs fn to receive every lease-mechanism event (nil
+// disables tracing, the default). Tracing is for debugging and
+// demonstrations; it does not affect timing.
+func (m *Machine) SetTracer(fn func(TraceEvent)) { m.tracer = fn }
+
+func (m *Machine) trace(core int, kind TraceKind, line mem.Line) {
+	if m.tracer != nil {
+		m.tracer(TraceEvent{Time: m.eng.Now(), Core: core, Kind: kind, Line: line})
+	}
+}

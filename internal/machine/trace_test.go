@@ -1,0 +1,60 @@
+package machine
+
+import "testing"
+
+func TestTraceEvents(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.Lease.MaxLeaseTime = 500
+	m := New(cfg)
+	a := m.Direct().Alloc(8)
+	var events []TraceEvent
+	m.SetTracer(func(e TraceEvent) { events = append(events, e) })
+	m.Spawn(0, func(c *Ctx) {
+		c.Lease(a, 500)
+		c.Load(a)
+		c.Release(a) // voluntary
+		c.Lease(a, 500)
+		c.Work(2000) // expires
+		c.Release(a)
+	})
+	m.Spawn(100, func(c *Ctx) {
+		c.Store(a, 1) // probe is deferred behind the first lease
+	})
+	if err := m.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	count := map[TraceKind]int{}
+	for _, e := range events {
+		count[e.Kind]++
+		if e.String() == "" {
+			t.Fatal("empty trace string")
+		}
+	}
+	if count[TraceLease] != 2 || count[TraceStart] != 2 {
+		t.Fatalf("lease/start counts = %d/%d, want 2/2", count[TraceLease], count[TraceStart])
+	}
+	if count[TraceVoluntary] != 1 || count[TraceInvoluntary] != 1 {
+		t.Fatalf("vol/invol = %d/%d, want 1/1", count[TraceVoluntary], count[TraceInvoluntary])
+	}
+	if count[TraceDeferred] != 1 {
+		t.Fatalf("deferred = %d, want 1", count[TraceDeferred])
+	}
+	// Events must be time-ordered.
+	for i := 1; i < len(events); i++ {
+		if events[i].Time < events[i-1].Time {
+			t.Fatalf("trace out of order: %v then %v", events[i-1], events[i])
+		}
+	}
+}
+
+func TestTracerDisabledNoOverheadPath(t *testing.T) {
+	m := New(testConfig(1))
+	a := m.Direct().Alloc(8)
+	m.Spawn(0, func(c *Ctx) {
+		c.Lease(a, 1000)
+		c.Release(a)
+	})
+	if err := m.Drain(); err != nil {
+		t.Fatal(err) // must not panic with nil tracer
+	}
+}

@@ -1,0 +1,78 @@
+package machine
+
+import "testing"
+
+// TestLeaseUpgradeFromShared: leasing a line currently held Shared issues
+// an exclusive upgrade; other sharers get invalidated and the lease then
+// defers their probes.
+func TestLeaseUpgradeFromShared(t *testing.T) {
+	m := New(testConfig(2))
+	a := m.Direct().Alloc(8)
+	var releaseAt, otherDone uint64
+	m.Spawn(0, func(c *Ctx) {
+		c.Load(a) // line Shared at core 0
+		c.Lease(a, 20000)
+		if !c.LeaseHeld(a) {
+			t.Error("lease not held after upgrade")
+		}
+		c.Store(a, 5) // must be a local hit under the lease
+		c.Work(3000)
+		c.Release(a)
+		releaseAt = c.Now()
+	})
+	m.Spawn(50, func(c *Ctx) {
+		c.Load(a) // co-sharer before the lease
+		c.Work(500)
+		c.Store(a, 9) // ownership probe: deferred behind the lease
+		otherDone = c.Now()
+	})
+	if err := m.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if otherDone < releaseAt {
+		t.Fatalf("contending store at %d finished before release at %d", otherDone, releaseAt)
+	}
+	if m.Peek(a) != 9 {
+		t.Fatalf("final value %d, want 9", m.Peek(a))
+	}
+}
+
+// TestReadProbeDeferredAndDowngrades: a GetS probe against a leased line
+// waits, then the owner ends up Shared (not invalid).
+func TestReadProbeDeferredAndDowngrades(t *testing.T) {
+	m := New(testConfig(2))
+	a := m.Direct().Alloc(8)
+	var releaseAt, readerDone, readerVal uint64
+	var ownerHitAfter bool
+	m.Spawn(0, func(c *Ctx) {
+		c.Lease(a, 20000)
+		c.Store(a, 42)
+		c.Work(2500)
+		c.Release(a)
+		releaseAt = c.Now()
+		c.Fence()
+		before := m.Stats().L1Misses
+		_ = c.Load(a) // owner keeps a Shared copy: still a hit
+		c.Fence()
+		ownerHitAfter = m.Stats().L1Misses == before
+	})
+	m.Spawn(100, func(c *Ctx) {
+		readerVal = c.Load(a)
+		readerDone = c.Now()
+	})
+	if err := m.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if readerDone < releaseAt {
+		t.Fatalf("read at %d completed before release at %d", readerDone, releaseAt)
+	}
+	if readerVal != 42 {
+		t.Fatalf("reader saw %d, want 42", readerVal)
+	}
+	if !ownerHitAfter {
+		t.Fatal("owner lost its copy entirely on a read probe (should downgrade to S)")
+	}
+	if err := m.VerifyCoherence(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStoreLoadRoundTrip(t *testing.T) {
+	var s Store
+	s.Store(64, 42)
+	if got := s.Load(64); got != 42 {
+		t.Fatalf("Load = %d, want 42", got)
+	}
+	if got := s.Load(72); got != 0 {
+		t.Fatalf("unwritten word = %d, want 0", got)
+	}
+}
+
+func TestStoreAcrossPages(t *testing.T) {
+	var s Store
+	addrs := []Addr{8, 1 << 15, 1 << 20, 1 << 33, 1<<40 + 64}
+	for i, a := range addrs {
+		s.Store(a, uint64(i)+100)
+	}
+	for i, a := range addrs {
+		if got := s.Load(a); got != uint64(i)+100 {
+			t.Fatalf("Load(%#x) = %d, want %d", a, got, i+100)
+		}
+	}
+}
+
+func TestStoreUnalignedPanics(t *testing.T) {
+	var s Store
+	defer func() {
+		if recover() == nil {
+			t.Error("unaligned access did not panic")
+		}
+	}()
+	s.Load(3)
+}
+
+func TestStorePropertyModel(t *testing.T) {
+	// Random store/load sequences agree with a map model.
+	f := func(ops []struct {
+		A uint16
+		V uint64
+	}) bool {
+		var s Store
+		model := map[Addr]uint64{}
+		for _, op := range ops {
+			a := Addr(op.A) * WordSize
+			s.Store(a, op.V)
+			model[a] = op.V
+		}
+		for a, v := range model {
+			if s.Load(a) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineMath(t *testing.T) {
+	if LineOf(0) != 0 || LineOf(63) != 0 || LineOf(64) != 1 {
+		t.Fatal("LineOf boundaries wrong")
+	}
+	if Line(3).Base() != 192 {
+		t.Fatalf("Line(3).Base() = %d, want 192", Line(3).Base())
+	}
+}
+
+func TestAllocNonOverlapping(t *testing.T) {
+	al := NewAllocator()
+	a := al.Alloc(24)
+	b := al.Alloc(8)
+	if a == 0 {
+		t.Fatal("allocation returned NULL address")
+	}
+	if b < a+24 {
+		t.Fatalf("blocks overlap: a=%d (24 bytes), b=%d", a, b)
+	}
+	if a%WordSize != 0 || b%WordSize != 0 {
+		t.Fatal("allocations not word aligned")
+	}
+}
+
+func TestAllocAlignedNoFalseSharing(t *testing.T) {
+	al := NewAllocator()
+	al.Alloc(8) // misalign the frontier
+	a := al.AllocAligned(8)
+	b := al.AllocAligned(70)
+	c := al.AllocAligned(8)
+	if a%LineSize != 0 || b%LineSize != 0 || c%LineSize != 0 {
+		t.Fatal("AllocAligned not line aligned")
+	}
+	if LineOf(a) == LineOf(b) || LineOf(b) == LineOf(c) || LineOf(b+64) == LineOf(c) {
+		t.Fatal("AllocAligned blocks share a cache line")
+	}
+}
+
+func TestAllocProperty(t *testing.T) {
+	// Allocations are disjoint and aligned for arbitrary size sequences.
+	f := func(sizes []uint16, aligned bool) bool {
+		al := NewAllocator()
+		var prevEnd Addr
+		for _, sz := range sizes {
+			var a Addr
+			if aligned {
+				a = al.AllocAligned(uint64(sz))
+			} else {
+				a = al.Alloc(uint64(sz))
+			}
+			if a < prevEnd || a == 0 {
+				return false
+			}
+			n := uint64(sz)
+			if n == 0 {
+				n = WordSize
+			}
+			prevEnd = a + Addr(n)
+			if aligned && a%LineSize != 0 {
+				return false
+			}
+			if a%WordSize != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

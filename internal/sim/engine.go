@@ -1,0 +1,128 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel is sequential: events execute one at a time in global
+// (cycle, sequence) order, and simulated cores run as coroutines that are
+// woken by events and yield back to the engine before every action that can
+// observe or affect shared simulated state. Given fixed seeds, every run is
+// bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Time is a simulated time in core clock cycles.
+type Time = uint64
+
+// MaxTime is the largest representable simulated time.
+const MaxTime Time = math.MaxUint64
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among events at the same cycle
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Engine is a sequential discrete-event simulator.
+//
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	procs  []*Proc
+
+	// Stop condition: Run returns once now >= stopAt (events at later
+	// times stay queued).
+	stopAt Time
+
+	// EventCount is the total number of events executed so far.
+	EventCount uint64
+}
+
+// NewEngine returns an empty engine at time 0.
+func NewEngine() *Engine {
+	return &Engine{stopAt: MaxTime}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is an
+// error in the simulation logic and panics.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d in the past (now %d)", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run dt cycles from now.
+func (e *Engine) After(dt Time, fn func()) { e.At(e.now+dt, fn) }
+
+// DeadlockError reports that no event is pending while procs are still
+// blocked waiting to be woken.
+type DeadlockError struct {
+	Time    Time
+	Blocked []string // description of each blocked proc
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at cycle %d; blocked procs:\n  %s",
+		d.Time, strings.Join(d.Blocked, "\n  "))
+}
+
+// Run executes events in order until either the event queue drains or
+// simulated time reaches until. It returns a *DeadlockError if the queue
+// drains while some procs remain blocked (a genuine simulated deadlock),
+// and nil otherwise.
+func (e *Engine) Run(until Time) error {
+	e.stopAt = until
+	for len(e.events) > 0 {
+		if e.events[0].at >= e.stopAt {
+			e.now = e.stopAt
+			return nil
+		}
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		e.EventCount++
+		ev.fn()
+	}
+	var blocked []string
+	for _, p := range e.procs {
+		if p.state == procBlocked {
+			blocked = append(blocked, p.describe())
+		}
+	}
+	if len(blocked) > 0 {
+		return &DeadlockError{Time: e.now, Blocked: blocked}
+	}
+	return nil
+}
+
+// Drain runs until the event queue is empty (no time bound).
+func (e *Engine) Drain() error { return e.Run(MaxTime) }

@@ -1,0 +1,68 @@
+package sim
+
+import "testing"
+
+func TestKillBlockedProc(t *testing.T) {
+	e := NewEngine()
+	cleanedUp := false
+	e.Spawn(0, 0, 1, func(p *Proc) {
+		defer func() { cleanedUp = true }()
+		p.Block("forever")
+		t.Error("proc resumed after kill")
+	})
+	// Run drains with a deadlock (the proc never wakes).
+	if _, ok := e.Drain().(*DeadlockError); !ok {
+		t.Fatal("expected deadlock before kill")
+	}
+	e.KillAll()
+	if !cleanedUp {
+		t.Fatal("deferred cleanup did not run on kill")
+	}
+}
+
+func TestKillBeforeFirstDispatch(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	p := e.Spawn(0, 100, 1, func(p *Proc) { ran = true })
+	p.Kill()
+	if ran {
+		t.Fatal("killed proc ran its body")
+	}
+	// The stale start event must be a no-op.
+	if err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKillFinishedProcIsNoop(t *testing.T) {
+	e := NewEngine()
+	p := e.Spawn(0, 0, 1, func(p *Proc) {})
+	if err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	p.Kill() // must not hang or panic
+}
+
+func TestKillAllMixed(t *testing.T) {
+	e := NewEngine()
+	done := 0
+	for i := 0; i < 3; i++ {
+		e.Spawn(i, 0, uint64(i+1), func(p *Proc) {
+			done++
+		})
+	}
+	for i := 3; i < 6; i++ {
+		e.Spawn(i, 0, uint64(i+1), func(p *Proc) {
+			p.Block("never")
+		})
+	}
+	if _, ok := e.Drain().(*DeadlockError); !ok {
+		t.Fatal("expected deadlock")
+	}
+	e.KillAll()
+	if done != 3 {
+		t.Fatalf("done = %d, want 3", done)
+	}
+	// Idempotent.
+	e.KillAll()
+}

@@ -1,0 +1,170 @@
+package sim
+
+import "fmt"
+
+type procState int
+
+const (
+	procCreated procState = iota
+	procRunning           // currently executing (engine is parked)
+	procBlocked           // waiting for an external wake (coherence reply, ...)
+	procDone
+)
+
+// Proc is a simulated hardware context (one in-order core running one
+// thread). Proc code runs on its own goroutine, but the engine and all
+// procs alternate strictly: exactly one of them executes at any instant.
+//
+// A proc keeps a local clock that it advances as it "executes". Before any
+// action that can touch shared simulated state it must call Sync, which
+// parks the proc until global simulated time has caught up with its local
+// clock. This is what makes the whole simulation deterministic.
+type Proc struct {
+	ID  int
+	eng *Engine
+
+	clock Time
+	state procState
+
+	resume chan Time     // engine -> proc, carries the wake time
+	yield  chan struct{} // proc -> engine
+
+	blockReason string
+	blockSince  Time
+
+	killed bool
+
+	rng RNG
+}
+
+// killToken unwinds a killed proc's goroutine through a panic that the
+// Spawn wrapper recovers.
+type killToken struct{}
+
+// Spawn creates a proc running fn, starting at time start. fn runs to
+// completion on its own goroutine, interleaved deterministically with other
+// procs by the engine.
+func (e *Engine) Spawn(id int, start Time, seed uint64, fn func(*Proc)) *Proc {
+	p := &Proc{
+		ID:     id,
+		eng:    e,
+		resume: make(chan Time),
+		yield:  make(chan struct{}),
+		rng:    NewRNG(seed),
+	}
+	e.procs = append(e.procs, p)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killToken); !ok {
+					panic(r)
+				}
+			}
+			p.state = procDone
+			p.yield <- struct{}{}
+		}()
+		t := <-p.resume
+		p.clock = t
+		if !p.killed {
+			fn(p)
+		}
+	}()
+	p.state = procBlocked
+	p.blockReason = "waiting to start"
+	e.At(start, func() { e.dispatch(p, start) })
+	return p
+}
+
+// dispatch hands control to p until it yields again. Must run inside an
+// engine event.
+func (e *Engine) dispatch(p *Proc, t Time) {
+	if p.state == procDone {
+		return
+	}
+	p.state = procRunning
+	p.resume <- t
+	<-p.yield
+}
+
+// park yields control back to the engine and blocks until woken, returning
+// the wake time.
+func (p *Proc) park(reason string) Time {
+	p.state = procBlocked
+	p.blockReason = reason
+	p.blockSince = p.eng.Now()
+	p.yield <- struct{}{}
+	t := <-p.resume
+	if p.killed {
+		panic(killToken{})
+	}
+	p.state = procRunning
+	return t
+}
+
+// Kill unwinds a blocked proc: its goroutine exits without running further
+// user code. Kill must only be called while the engine is idle (Run has
+// returned); it is a no-op on running or finished procs.
+func (p *Proc) Kill() {
+	if p.state != procBlocked {
+		return
+	}
+	p.killed = true
+	p.state = procRunning
+	p.resume <- 0
+	<-p.yield
+}
+
+// KillAll unwinds every blocked proc. Call after Run returns to tear a
+// simulation down without leaking goroutines.
+func (e *Engine) KillAll() {
+	for _, p := range e.procs {
+		p.Kill()
+	}
+}
+
+// Sync parks the proc until global time reaches its local clock. After
+// Sync returns, eng.Now() == p.Clock() and the proc may safely perform an
+// action on shared simulated state timestamped at its local clock.
+func (p *Proc) Sync() {
+	if p.clock < p.eng.Now() {
+		// The proc fell behind global time (it was woken by an event
+		// that completed later than its local clock): jump forward.
+		p.clock = p.eng.Now()
+		return
+	}
+	if p.clock == p.eng.Now() {
+		return
+	}
+	e, t := p.eng, p.clock
+	e.At(t, func() { e.dispatch(p, t) })
+	p.clock = p.park("advancing clock")
+}
+
+// Block parks the proc until some event calls WakeAt. It returns the wake
+// time and sets the local clock to it. reason is used in deadlock reports.
+func (p *Proc) Block(reason string) Time {
+	t := p.park(reason)
+	p.clock = t
+	return t
+}
+
+// WakeAt schedules p (which must be blocked via Block) to resume at time t.
+// It must be called from engine context, i.e. inside an event callback.
+func (p *Proc) WakeAt(t Time) {
+	e := p.eng
+	e.At(t, func() { e.dispatch(p, t) })
+}
+
+// Clock returns the proc's local time.
+func (p *Proc) Clock() Time { return p.clock }
+
+// Work advances the local clock by n cycles of purely local computation.
+func (p *Proc) Work(n Time) { p.clock += n }
+
+// RNG returns the proc's deterministic random number generator.
+func (p *Proc) RNG() *RNG { return &p.rng }
+
+func (p *Proc) describe() string {
+	return fmt.Sprintf("proc %d: %s (since cycle %d, local clock %d)",
+		p.ID, p.blockReason, p.blockSince, p.clock)
+}

@@ -1,0 +1,121 @@
+package stm
+
+import (
+	"testing"
+
+	"leaserelease/internal/machine"
+)
+
+func newM(cores int) *machine.Machine { return machine.New(machine.DefaultConfig(cores)) }
+
+func modes() map[string]LeaseMode {
+	return map[string]LeaseMode{
+		"base":    NoLease,
+		"hw":      HWMulti,
+		"sw":      SWMulti,
+		"single1": SingleFirst,
+	}
+}
+
+func TestTL2SingleThread(t *testing.T) {
+	for name, mode := range modes() {
+		name, mode := name, mode
+		t.Run(name, func(t *testing.T) {
+			m := newM(1)
+			tl := New(m.Direct(), 10, 20000)
+			tl.Mode = mode
+			m.Spawn(0, func(c *machine.Ctx) {
+				if ab := tl.UpdatePair(c, 2, 7, 5); ab != 0 {
+					t.Errorf("uncontended tx aborted %d times", ab)
+				}
+				tl.UpdatePair(c, 7, 2, 1)
+			})
+			if err := m.Drain(); err != nil {
+				t.Fatal(err)
+			}
+			d := m.Direct()
+			if tl.Read(d, 2) != 6 || tl.Read(d, 7) != 6 {
+				t.Fatalf("values = %d,%d, want 6,6", tl.Read(d, 2), tl.Read(d, 7))
+			}
+		})
+	}
+}
+
+// TestTL2Serializable: concurrent pair-updates must never lose increments.
+// Each commit adds 1 to two distinct objects, so the final sum over all
+// objects equals exactly 2 × transactions.
+func TestTL2Serializable(t *testing.T) {
+	const cores, txPer, objs = 8, 50, 10
+	for name, mode := range modes() {
+		name, mode := name, mode
+		t.Run(name, func(t *testing.T) {
+			m := newM(cores)
+			tl := New(m.Direct(), objs, 20000)
+			tl.Mode = mode
+			for i := 0; i < cores; i++ {
+				m.Spawn(0, func(c *machine.Ctx) {
+					for n := 0; n < txPer; n++ {
+						i := c.Rand().Intn(objs)
+						j := c.Rand().Intn(objs - 1)
+						if j >= i {
+							j++
+						}
+						tl.UpdatePair(c, i, j, 1)
+					}
+				})
+			}
+			if err := m.Drain(); err != nil {
+				t.Fatalf("%s deadlocked: %v", name, err)
+			}
+			d := m.Direct()
+			var sum uint64
+			for i := 0; i < objs; i++ {
+				sum += tl.Read(d, i)
+			}
+			if want := uint64(cores * txPer * 2); sum != want {
+				t.Fatalf("%s: sum = %d, want %d (lost or duplicated updates)", name, sum, want)
+			}
+		})
+	}
+}
+
+// TestTL2LeaseReducesAborts reproduces the Figure 4 TL2 direction: the
+// MultiLease variant must abort far less than the base under contention.
+func TestTL2LeaseReducesAborts(t *testing.T) {
+	run := func(mode LeaseMode) (commits, aborts uint64) {
+		const cores, objs = 8, 10
+		m := newM(cores)
+		tl := New(m.Direct(), objs, 20000)
+		tl.Mode = mode
+		for i := 0; i < cores; i++ {
+			m.Spawn(0, func(c *machine.Ctx) {
+				for {
+					i := c.Rand().Intn(objs)
+					j := c.Rand().Intn(objs - 1)
+					if j >= i {
+						j++
+					}
+					aborts += uint64(tl.UpdatePair(c, i, j, 1))
+					commits++
+				}
+			})
+		}
+		if err := m.Run(500000); err != nil {
+			t.Fatal(err)
+		}
+		m.Stop()
+		return commits, aborts
+	}
+	_, baseAborts := run(NoLease)
+	hwCommits, hwAborts := run(HWMulti)
+	if baseAborts == 0 {
+		t.Fatal("base TL2 shows no aborts under 8-way contention on 10 objects")
+	}
+	if hwAborts*5 > baseAborts {
+		t.Fatalf("hw-multilease aborts %d vs base %d: leases not suppressing aborts",
+			hwAborts, baseAborts)
+	}
+	if hwCommits == 0 {
+		t.Fatal("no commits with multilease")
+	}
+}

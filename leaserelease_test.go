@@ -1,0 +1,120 @@
+package leaserelease
+
+import "testing"
+
+// TestFacadeQuickstart runs the doc-comment quickstart through the public
+// façade only.
+func TestFacadeQuickstart(t *testing.T) {
+	cfg := DefaultConfig(4)
+	m := New(cfg)
+	s := NewStack(m.Direct(), StackOptions{Lease: 20000})
+	for i := 0; i < 4; i++ {
+		m.Spawn(0, func(c *Ctx) {
+			for {
+				s.Push(c, 1)
+				s.Pop(c)
+			}
+		})
+	}
+	if err := m.Run(200_000); err != nil {
+		t.Fatal(err)
+	}
+	m.Stop()
+	st := m.Stats()
+	if st.Leases == 0 || st.VoluntaryReleases == 0 {
+		t.Fatalf("lease machinery unused: %+v", st)
+	}
+	if st.Cycles != 200_000 {
+		t.Fatalf("cycles = %d", st.Cycles)
+	}
+}
+
+func TestFacadeStructures(t *testing.T) {
+	m := New(DefaultConfig(2))
+	d := m.Direct()
+
+	q := NewQueue(d, QueueOptions{Mode: QueueSingleLease, LeaseTime: 20000})
+	pqf := NewPQFine(d)
+	pqg := NewPQGlobal(d, 20000)
+	hl := NewHarrisList(d)
+	sk := NewLazySkipList(d)
+	bst := NewBST(d)
+	hm := NewHashMap(d, 16, 20000)
+	mq := NewMultiQueue(d, 4, 64, MultiQueueOptions{LeaseTime: 20000})
+	tl := NewTL2(d, 10, 20000)
+	tl.Mode = TL2HWMulti
+
+	var ok [8]bool
+	m.Spawn(0, func(c *Ctx) {
+		q.Enqueue(c, 7)
+		v, found := q.Dequeue(c)
+		ok[0] = found && v == 7
+
+		pqf.Insert(c, 5)
+		v, found = pqf.DeleteMin(c)
+		ok[1] = found && v == 5
+
+		pqg.Insert(c, 9)
+		v, found = pqg.DeleteMin(c)
+		ok[2] = found && v == 9
+
+		ok[3] = hl.Insert(c, 3) && hl.Contains(c, 3) && hl.Remove(c, 3)
+		ok[4] = sk.Insert(c, 3) && sk.Contains(c, 3) && sk.Remove(c, 3)
+		ok[5] = bst.Insert(c, 3) && bst.Contains(c, 3) && bst.Delete(c, 3)
+		hm.Put(c, 3, 33)
+		got, found := hm.Get(c, 3)
+		ok[6] = found && got == 33
+
+		mq.Insert(c, 11)
+		v, found = mq.DeleteMin(c)
+		ok[7] = found && v == 11
+
+		tl.UpdatePair(c, 0, 1, 2)
+	})
+	if err := m.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range ok {
+		if !o {
+			t.Fatalf("facade structure %d misbehaved", i)
+		}
+	}
+	if tl.Read(d, 0) != 2 || tl.Read(d, 1) != 2 {
+		t.Fatal("TL2 transaction did not commit")
+	}
+}
+
+func TestFacadeExperimentsRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) < 15 {
+		t.Fatalf("registry has %d experiments, want >= 15", len(exps))
+	}
+	if _, ok := FindExperiment("fig5-pagerank"); !ok {
+		t.Fatal("fig5-pagerank missing")
+	}
+}
+
+func TestFacadeLocksAndBarrier(t *testing.T) {
+	m := New(DefaultConfig(4))
+	d := m.Direct()
+	lk := NewLeasedLock(NewTTSLock(d), 20000)
+	bar := NewBarrier(d, 4)
+	ctr := d.Alloc(8)
+	for i := 0; i < 4; i++ {
+		m.Spawn(0, func(c *Ctx) {
+			h := bar.NewHandle()
+			for n := 0; n < 25; n++ {
+				lk.Lock(c)
+				c.Store(ctr, c.Load(ctr)+1)
+				lk.Unlock(c)
+			}
+			bar.Wait(c, h)
+			if c.Load(ctr) != 100 {
+				t.Errorf("after barrier counter = %d, want 100", c.Load(ctr))
+			}
+		})
+	}
+	if err := m.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
