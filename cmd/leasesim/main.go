@@ -6,9 +6,17 @@
 //	leasesim -ds stack -threads 8 -lease -cycles 1000000
 //	leasesim -ds counter -threads 16 -priority
 //	leasesim -ds tl2 -threads 8 -multilease sw
+//	leasesim -ds stack -threads 16 -lease -json -hotlines 5 -timeline t.json
+//
+// Every run records telemetry (latency/hold-time/queue histograms and the
+// per-line contention profile). -json switches the report to machine-
+// readable JSON; -timeline additionally writes a Chrome trace-event file
+// loadable in chrome://tracing or https://ui.perfetto.dev showing each
+// core's lease intervals on the simulated timeline.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +26,7 @@ import (
 	"leaserelease/internal/machine"
 	"leaserelease/internal/multiqueue"
 	"leaserelease/internal/stm"
+	"leaserelease/internal/telemetry"
 )
 
 func main() {
@@ -35,6 +44,10 @@ func main() {
 		predictor = flag.Bool("predictor", false, "enable the §5 speculative lease predictor")
 		multi     = flag.String("multilease", "hw", "tl2 multilease flavor: hw|sw|single|off")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
+		jsonOut   = flag.Bool("json", false, "emit the run report as JSON on stdout")
+		hotlines  = flag.Int("hotlines", 10, "rank the top-N contended cache lines (0 disables)")
+		timeline  = flag.String("timeline", "", "write a Chrome trace-event timeline to this file")
+		samples   = flag.Int("sample", 0, "sample N windowed Stats deltas as a time series")
 	)
 	flag.Parse()
 
@@ -110,6 +123,10 @@ func main() {
 		os.Exit(2)
 	}
 
+	rec := telemetry.NewRecorder()
+	if *timeline != "" {
+		rec.EnableTimeline(float64(cfg.ClockHz) / 1e6) // cycles per µs
+	}
 	var hooks []func(*machine.Machine)
 	if *trace > 0 {
 		left := *trace
@@ -122,7 +139,39 @@ func main() {
 			})
 		})
 	}
-	r := bench.Throughput(cfg, *threads, *warm, *cycles, build, hooks...)
+	r := bench.ThroughputOpts(cfg, *threads, *warm, *cycles, build,
+		bench.Options{Recorder: rec, Samples: *samples, Hooks: hooks})
+
+	if *timeline != "" {
+		f, err := os.Create(*timeline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "leasesim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rec.Timeline.Write(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "leasesim: writing timeline: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *jsonOut {
+		rep := bench.BuildReport(*dsName, *threads, *lease, cfg, *warm, *cycles, r, rec, *hotlines)
+		rep.Aborts = aborts
+		rep.TimelineFile = *timeline
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "leasesim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	fmt.Printf("ds=%s threads=%d lease=%v window=%d cycles\n", *dsName, *threads, *lease, r.Cycles)
 	fmt.Printf("ops            %d\n", r.Ops)
 	fmt.Printf("throughput     %.3f Mops/s\n", r.MopsPerSec)
@@ -130,9 +179,46 @@ func main() {
 	fmt.Printf("L1 misses/op   %.3f\n", r.MissesPerOp)
 	fmt.Printf("messages/op    %.3f\n", r.MsgsPerOp)
 	fmt.Printf("CAS fails/op   %.3f\n", r.CASFailsPerOp)
+	fmt.Printf("fairness       %.3f\n", r.Fairness)
 	if aborts > 0 {
 		fmt.Printf("tl2 aborts     %d (warm+window)\n", aborts)
 	}
+
+	fmt.Println("\nlatency distributions (cycles):")
+	printDist := func(name string, s *telemetry.Summary) {
+		if s == nil || s.Count == 0 {
+			return
+		}
+		fmt.Printf("%-14s %s\n", name, s)
+	}
+	printDist("op latency", r.OpLatency)
+	printDist("lease hold", r.LeaseHold)
+	printDist("probe defer", r.ProbeDefer)
+	printDist("dir queue", r.DirQueue)
+
+	if *hotlines > 0 && rec.Lines.Len() > 0 {
+		fmt.Printf("\nhot lines (top %d of %d):\n", *hotlines, rec.Lines.Len())
+		fmt.Printf("%-12s %10s %10s %8s %10s %8s %8s\n",
+			"line", "score", "msgs", "invals", "deferred", "leases", "maxdirq")
+		for _, h := range bench.HotLineRows(rec, *hotlines) {
+			fmt.Printf("%-12s %10d %10d %8d %10d %8d %8d\n",
+				h.Line, h.Score, h.Msgs, h.Invals, h.Deferred, h.Leases, h.MaxQueue)
+		}
+	}
+
+	if len(r.Series) > 0 {
+		fmt.Println("\ntime series (per-window deltas):")
+		fmt.Printf("%12s %10s %10s %10s %10s\n", "end cycle", "ops", "msgs", "l1miss", "deferred")
+		for _, s := range r.Series {
+			fmt.Printf("%12d %10d %10d %10d %10d\n",
+				s.EndCycle, s.Ops, s.Stats.TotalMsgs(), s.Stats.L1Misses, s.Stats.DeferredProbes)
+		}
+	}
+
+	if *timeline != "" {
+		fmt.Printf("\ntimeline written to %s (open in chrome://tracing or ui.perfetto.dev)\n", *timeline)
+	}
+
 	fmt.Println("\nwindow counters:")
 	fmt.Println(r.Window)
 }

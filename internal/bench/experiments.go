@@ -9,6 +9,7 @@ import (
 	"leaserelease/internal/machine"
 	"leaserelease/internal/multiqueue"
 	"leaserelease/internal/stm"
+	"leaserelease/internal/telemetry"
 )
 
 // Params controls the scale of an experiment sweep.
@@ -86,32 +87,49 @@ func runTable1(w io.Writer, p Params) {
 	t.Print(w)
 }
 
+// measured runs a telemetry-enabled throughput measurement so experiments
+// can report latency distributions (p50/p90/p99) alongside means.
+func measured(cfg machine.Config, n int, p Params, build func(d *machine.Direct) OpFunc) Result {
+	return ThroughputOpts(cfg, n, p.Warm, p.Window, build,
+		Options{Recorder: telemetry.NewRecorder()})
+}
+
 func runFig2(w io.Writer, p Params) {
-	t := NewTable("threads", "base Mops/s", "lease Mops/s", "speedup", "base miss/op", "lease miss/op")
+	t := NewTable("threads", "base Mops/s", "lease Mops/s", "speedup", "base miss/op", "lease miss/op",
+		"base lat p50/p99", "lease lat p50/p99")
 	threads := p.Threads
 	if threads[0] != 1 {
 		threads = append([]int{1}, threads...)
 	}
 	for _, n := range threads {
-		base := Throughput(cfgFor(n), n, p.Warm, p.Window, StackWorkload(ds.StackOptions{}))
-		lease := Throughput(cfgFor(n), n, p.Warm, p.Window, StackWorkload(ds.StackOptions{Lease: LeaseTime}))
+		base := measured(cfgFor(n), n, p, StackWorkload(ds.StackOptions{}))
+		lease := measured(cfgFor(n), n, p, StackWorkload(ds.StackOptions{Lease: LeaseTime}))
 		t.Row(n, base.MopsPerSec, lease.MopsPerSec, ratio(lease.MopsPerSec, base.MopsPerSec),
-			base.MissesPerOp, lease.MissesPerOp)
+			base.MissesPerOp, lease.MissesPerOp,
+			fmtP5099(base.OpLatency), fmtP5099(lease.OpLatency))
 	}
 	t.Print(w)
+}
+
+// fmtP5099 renders a latency digest as "p50/p99" cycles.
+func fmtP5099(s *telemetry.Summary) string {
+	if s == nil || s.Count == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d/%d", s.P50, s.P99)
 }
 
 func runFig3Counter(w io.Writer, p Params) {
 	t := NewTable("threads",
 		"tts Mops/s", "lease Mops/s", "ticket Mops/s", "clh Mops/s",
-		"tts nJ/op", "lease nJ/op")
+		"tts nJ/op", "lease nJ/op", "lease lat p50/p99", "hold p50/p99")
 	for _, n := range p.Threads {
 		tts := Throughput(cfgFor(n), n, p.Warm, p.Window, CounterWorkload(CounterTTS))
-		lease := Throughput(cfgFor(n), n, p.Warm, p.Window, CounterWorkload(CounterLeasedTTS))
+		lease := measured(cfgFor(n), n, p, CounterWorkload(CounterLeasedTTS))
 		ticket := Throughput(cfgFor(n), n, p.Warm, p.Window, CounterWorkload(CounterTicket))
 		clh := Throughput(cfgFor(n), n, p.Warm, p.Window, CounterWorkload(CounterCLH))
 		t.Row(n, tts.MopsPerSec, lease.MopsPerSec, ticket.MopsPerSec, clh.MopsPerSec,
-			tts.NJPerOp, lease.NJPerOp)
+			tts.NJPerOp, lease.NJPerOp, fmtP5099(lease.OpLatency), fmtP5099(lease.LeaseHold))
 	}
 	t.Print(w)
 }

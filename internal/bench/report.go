@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"fmt"
+
+	"leaserelease/internal/coherence"
+	"leaserelease/internal/machine"
+	"leaserelease/internal/telemetry"
+)
+
+// Report is the machine-readable summary of one run, as emitted by
+// `leasesim -json`. Field order and types are stable: for a fixed seed
+// and configuration the marshaled report is byte-for-byte reproducible.
+type Report struct {
+	DS           string `json:"ds"`
+	Threads      int    `json:"threads"`
+	Lease        bool   `json:"lease"`
+	Seed         uint64 `json:"seed"`
+	WarmCycles   uint64 `json:"warm_cycles"`
+	WindowCycles uint64 `json:"window_cycles"`
+
+	Ops           uint64  `json:"ops"`
+	MopsPerSec    float64 `json:"mops_per_sec"`
+	NJPerOp       float64 `json:"nj_per_op"`
+	MissesPerOp   float64 `json:"l1_misses_per_op"`
+	MsgsPerOp     float64 `json:"msgs_per_op"`
+	CASFailsPerOp float64 `json:"cas_fails_per_op"`
+	Fairness      float64 `json:"fairness"`
+	Aborts        uint64  `json:"tl2_aborts,omitempty"`
+
+	OpLatency  *telemetry.Summary `json:"op_latency_cycles,omitempty"`
+	LeaseHold  *telemetry.Summary `json:"lease_hold_cycles,omitempty"`
+	ProbeDefer *telemetry.Summary `json:"probe_defer_cycles,omitempty"`
+	DirQueue   *telemetry.Summary `json:"dir_queue_occupancy,omitempty"`
+
+	Counters Counters     `json:"counters"`
+	HotLines []HotLineRow `json:"hot_lines,omitempty"`
+	Series   []Sample     `json:"series,omitempty"`
+
+	TimelineFile string `json:"timeline_file,omitempty"`
+}
+
+// Counters is machine.Stats with JSON-friendly names and messages broken
+// out per kind.
+type Counters struct {
+	Cycles              uint64            `json:"cycles"`
+	L1Hits              uint64            `json:"l1_hits"`
+	L1Misses            uint64            `json:"l1_misses"`
+	Msgs                map[string]uint64 `json:"msgs"`
+	L2Accesses          uint64            `json:"l2_accesses"`
+	DRAMAccesses        uint64            `json:"dram_accesses"`
+	Leases              uint64            `json:"leases"`
+	MultiLeases         uint64            `json:"multi_leases"`
+	VoluntaryReleases   uint64            `json:"voluntary_releases"`
+	InvoluntaryReleases uint64            `json:"involuntary_releases"`
+	EvictedLeases       uint64            `json:"evicted_leases"`
+	ForcedReleases      uint64            `json:"forced_releases"`
+	BrokenLeases        uint64            `json:"broken_leases"`
+	IgnoredLeases       uint64            `json:"ignored_leases"`
+	DeferredProbes      uint64            `json:"deferred_probes"`
+	CASSuccesses        uint64            `json:"cas_successes"`
+	CASFailures         uint64            `json:"cas_failures"`
+	MaxDirQueue         int               `json:"max_dir_queue"`
+}
+
+// CountersOf converts a Stats snapshot to report form.
+func CountersOf(s machine.Stats) Counters {
+	msgs := make(map[string]uint64, len(s.Msgs))
+	for k, n := range s.Msgs {
+		msgs[coherence.MsgKind(k).String()] = n
+	}
+	return Counters{
+		Cycles: s.Cycles, L1Hits: s.L1Hits, L1Misses: s.L1Misses,
+		Msgs: msgs, L2Accesses: s.L2Accesses, DRAMAccesses: s.DRAMAccesses,
+		Leases: s.Leases, MultiLeases: s.MultiLeases,
+		VoluntaryReleases: s.VoluntaryReleases, InvoluntaryReleases: s.InvoluntaryReleases,
+		EvictedLeases: s.EvictedLeases, ForcedReleases: s.ForcedReleases,
+		BrokenLeases: s.BrokenLeases, IgnoredLeases: s.IgnoredLeases,
+		DeferredProbes: s.DeferredProbes,
+		CASSuccesses:   s.CASSuccesses, CASFailures: s.CASFailures,
+		MaxDirQueue: s.MaxDirQueue,
+	}
+}
+
+// HotLineRow is one line of the ranked hot-line table, with the line
+// address rendered in hex.
+type HotLineRow struct {
+	Line      string `json:"line"`
+	Score     uint64 `json:"score"`
+	Msgs      uint64 `json:"msgs"`
+	Invals    uint64 `json:"invalidations"`
+	Deferred  uint64 `json:"deferred_probes"`
+	Leases    uint64 `json:"leases"`
+	Breaks    uint64 `json:"broken_leases"`
+	Evictions uint64 `json:"l1_evictions"`
+	MaxQueue  uint64 `json:"max_dir_queue"`
+}
+
+// HotLineRows renders the recorder's top-k contended lines.
+func HotLineRows(rec *telemetry.Recorder, k int) []HotLineRow {
+	top := rec.Lines.Top(k)
+	rows := make([]HotLineRow, 0, len(top))
+	for i := range top {
+		s := &top[i]
+		rows = append(rows, HotLineRow{
+			Line:  fmt.Sprintf("%#x", uint64(s.Line)),
+			Score: s.Score(), Msgs: s.Msgs, Invals: s.Invals,
+			Deferred: s.Deferred, Leases: s.Leases, Breaks: s.Breaks,
+			Evictions: s.Evictions, MaxQueue: s.MaxQueue,
+		})
+	}
+	return rows
+}
+
+// BuildReport assembles the JSON report for one telemetry-enabled run.
+func BuildReport(ds string, threads int, lease bool, cfg machine.Config,
+	warm, window uint64, r Result, rec *telemetry.Recorder, hotK int) Report {
+
+	rep := Report{
+		DS: ds, Threads: threads, Lease: lease, Seed: cfg.Seed,
+		WarmCycles: warm, WindowCycles: window,
+		Ops: r.Ops, MopsPerSec: r.MopsPerSec, NJPerOp: r.NJPerOp,
+		MissesPerOp: r.MissesPerOp, MsgsPerOp: r.MsgsPerOp,
+		CASFailsPerOp: r.CASFailsPerOp, Fairness: r.Fairness,
+		OpLatency: r.OpLatency, LeaseHold: r.LeaseHold,
+		ProbeDefer: r.ProbeDefer, DirQueue: r.DirQueue,
+		Counters: CountersOf(r.Window), Series: r.Series,
+	}
+	if rec != nil && hotK > 0 {
+		rep.HotLines = HotLineRows(rec, hotK)
+	}
+	return rep
+}

@@ -8,10 +8,19 @@ import (
 	"fmt"
 
 	"leaserelease/internal/machine"
+	"leaserelease/internal/telemetry"
 )
 
 // OpFunc performs one data structure operation on behalf of thread tid.
 type OpFunc func(tid int, c *machine.Ctx)
+
+// Sample is one sampled sub-window of a measurement: the Stats delta over
+// [start of sub-window, EndCycle] plus the operations completed in it.
+type Sample struct {
+	EndCycle uint64        `json:"end_cycle"`
+	Ops      uint64        `json:"ops"`
+	Stats    machine.Stats `json:"stats"`
+}
 
 // Result summarizes one measurement window.
 type Result struct {
@@ -30,6 +39,31 @@ type Result struct {
 	// Fairness is minOps/maxOps across threads in the window (1 = perfect;
 	// 0 = some thread starved). Lease queueing tends to raise it.
 	Fairness float64
+
+	// Distribution digests (p50/p90/p99 alongside the means above), filled
+	// when the run was telemetry-enabled (Options.Recorder); nil otherwise.
+	OpLatency  *telemetry.Summary // cycles per operation
+	LeaseHold  *telemetry.Summary // lease start -> release/expire/break
+	ProbeDefer *telemetry.Summary // probe wait behind a lease
+	DirQueue   *telemetry.Summary // directory queue occupancy at arrival
+
+	// Series holds the periodic time-series samples of windowed Stats
+	// deltas (Options.Samples sub-windows); nil when sampling is off.
+	Series []Sample
+}
+
+// Options selects the optional observability features of a Throughput run.
+// The zero value reproduces the plain harness: no telemetry, no sampling.
+type Options struct {
+	// Recorder, when non-nil, is attached to the machine's telemetry bus
+	// and additionally observes per-operation latency for every operation
+	// that starts inside the measurement window.
+	Recorder *telemetry.Recorder
+	// Samples > 0 splits the measurement window into that many sampled
+	// sub-windows reported in Result.Series.
+	Samples int
+	// Hooks run on the freshly built machine before any thread spawns.
+	Hooks []func(*machine.Machine)
 }
 
 // Throughput runs a standard throughput benchmark: build the structure,
@@ -38,12 +72,35 @@ type Result struct {
 // tracer) before any thread is spawned.
 func Throughput(cfg machine.Config, threads int, warm, window uint64,
 	build func(d *machine.Direct) OpFunc, hooks ...func(*machine.Machine)) Result {
+	return ThroughputOpts(cfg, threads, warm, window, build, Options{Hooks: hooks})
+}
+
+// ThroughputOpts is Throughput with observability options. Telemetry rides
+// on the host side of the simulation (bus subscribers, local-clock reads),
+// so enabling it never changes simulated timing: for a given cfg.Seed the
+// measured window is identical with and without a Recorder.
+func ThroughputOpts(cfg machine.Config, threads int, warm, window uint64,
+	build func(d *machine.Direct) OpFunc, o Options) Result {
 
 	m := machine.New(cfg)
-	for _, h := range hooks {
+	for _, h := range o.Hooks {
 		h(m)
 	}
+	rec := o.Recorder
+	if rec != nil {
+		rec.Attach(m.Telemetry())
+	}
 	op := build(m.Direct())
+	if rec != nil {
+		inner := op
+		op = func(tid int, c *machine.Ctx) {
+			start := c.Now()
+			inner(tid, c)
+			if start >= warm {
+				rec.OpLatency.Observe(c.Now() - start)
+			}
+		}
+	}
 	counts := make([]uint64, threads)
 	for i := 0; i < threads; i++ {
 		i := i
@@ -57,7 +114,24 @@ func Throughput(cfg machine.Config, threads int, warm, window uint64,
 	mustRun(m, warm)
 	start := m.Stats()
 	startCounts := append([]uint64(nil), counts...)
-	mustRun(m, warm+window)
+
+	var series []Sample
+	if o.Samples > 0 {
+		prev, prevOps := start, total(counts)
+		chunk := window / uint64(o.Samples)
+		for s := 0; s < o.Samples; s++ {
+			end := warm + chunk*uint64(s+1)
+			if s == o.Samples-1 {
+				end = warm + window
+			}
+			mustRun(m, end)
+			snap, ops := m.Stats(), total(counts)
+			series = append(series, Sample{EndCycle: end, Ops: ops - prevOps, Stats: snap.Sub(prev)})
+			prev, prevOps = snap, ops
+		}
+	} else {
+		mustRun(m, warm+window)
+	}
 	w := m.Stats().Sub(start)
 	var ops, minT, maxT uint64
 	minT = ^uint64(0)
@@ -71,12 +145,35 @@ func Throughput(cfg machine.Config, threads int, warm, window uint64,
 			maxT = d
 		}
 	}
+	if rec != nil {
+		rec.Finish(m.Now())
+	}
 	m.Stop()
 	r := summarize(m.Config(), threads, ops, w)
 	if maxT > 0 {
 		r.Fairness = float64(minT) / float64(maxT)
 	}
+	r.Series = series
+	if rec != nil {
+		r.OpLatency = summaryOf(&rec.OpLatency)
+		r.LeaseHold = summaryOf(&rec.LeaseHold)
+		r.ProbeDefer = summaryOf(&rec.ProbeDefer)
+		r.DirQueue = summaryOf(&rec.DirQueue)
+	}
 	return r
+}
+
+func summaryOf(h *telemetry.Hist) *telemetry.Summary {
+	s := h.Summary()
+	return &s
+}
+
+func total(xs []uint64) uint64 {
+	var s uint64
+	for _, x := range xs {
+		s += x
+	}
+	return s
 }
 
 func summarize(cfg machine.Config, threads int, ops uint64, w machine.Stats) Result {
@@ -91,14 +188,6 @@ func summarize(cfg machine.Config, threads int, ops uint64, w machine.Stats) Res
 	r.MsgsPerOp = float64(w.TotalMsgs()) / float64(ops)
 	r.CASFailsPerOp = float64(w.CASFailures) / float64(ops)
 	return r
-}
-
-func sum(xs []uint64) uint64 {
-	var s uint64
-	for _, x := range xs {
-		s += x
-	}
-	return s
 }
 
 func mustRun(m *machine.Machine, until uint64) {

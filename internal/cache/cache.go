@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"leaserelease/internal/mem"
+	"leaserelease/internal/telemetry"
 )
 
 // State is an MSI cache line state.
@@ -63,6 +64,12 @@ type Cache struct {
 
 	// Stats
 	Hits, Misses, Evictions uint64
+
+	// Bus, when set, receives a telemetry.CatCache event for every
+	// replacement victim (kind = the victim's state, CoreID = this
+	// cache's core). The machine wires both when telemetry is enabled.
+	Bus    *telemetry.Bus
+	CoreID int
 }
 
 // New builds an L1 from cfg. The number of sets must come out a power of
@@ -184,6 +191,7 @@ func (c *Cache) Install(l mem.Line, st State) (victim mem.Line, victimState Stat
 		}
 		victim, victimState, evicted = lru.line, lru.state, true
 		c.Evictions++
+		c.Bus.Emit(telemetry.CatCache, c.CoreID, uint8(victimState), victim, 1)
 		slot = lru
 	}
 	*slot = way{line: l, state: st, lru: c.tick}

@@ -21,30 +21,32 @@ import (
 	"leaserelease/internal/cache"
 	"leaserelease/internal/mem"
 	"leaserelease/internal/sim"
+	"leaserelease/internal/telemetry"
 )
 
 // MsgKind classifies coherence messages for traffic and energy accounting.
+// The values alias the telemetry package's canonical numbering, so bus
+// events carry MsgKind verbatim in Event.Kind.
 type MsgKind int
 
 const (
 	// MsgRequest is a core's GetS/GetX request to the directory.
-	MsgRequest MsgKind = iota
+	MsgRequest = MsgKind(telemetry.MsgRequest)
 	// MsgReply is a data/grant reply to the requesting core.
-	MsgReply
+	MsgReply = MsgKind(telemetry.MsgReply)
 	// MsgForward is a directory-to-owner probe forward.
-	MsgForward
+	MsgForward = MsgKind(telemetry.MsgForward)
 	// MsgInval is a directory-to-sharer invalidation.
-	MsgInval
+	MsgInval = MsgKind(telemetry.MsgInval)
 	// MsgAck is an acknowledgment (invalidation ack or ownership-transfer
 	// notice to the directory).
-	MsgAck
+	MsgAck = MsgKind(telemetry.MsgAck)
 	// MsgWriteback is a dirty-eviction writeback notice.
-	MsgWriteback
-	numMsgKinds
+	MsgWriteback = MsgKind(telemetry.MsgWriteback)
 )
 
 // NumMsgKinds is the number of distinct message kinds.
-const NumMsgKinds = int(numMsgKinds)
+const NumMsgKinds = telemetry.NumMsgKinds
 
 func (k MsgKind) String() string {
 	switch k {
@@ -169,6 +171,12 @@ type Directory struct {
 	MaxQueue int
 	// DeferredProbes counts probes that were queued at a leased core.
 	DeferredProbes uint64
+
+	// Bus, when set, receives per-line coherence-message events
+	// (telemetry.CatCoherence) and queue-pressure events
+	// (telemetry.CatDirQueue). A nil bus costs one predictable branch
+	// per message.
+	Bus *telemetry.Bus
 }
 
 // NewDirectory builds a directory over the given engine and environment.
@@ -189,12 +197,19 @@ func (d *Directory) entry(l mem.Line) *dirEntry {
 	return e
 }
 
+// countMsg accounts n messages of one kind with the machine's counters
+// and mirrors them, per line, onto the telemetry bus.
+func (d *Directory) countMsg(l mem.Line, kind MsgKind, n int) {
+	d.env.CountMsg(kind, n)
+	d.Bus.Emit(telemetry.CatCoherence, -1, uint8(kind), l, uint64(n))
+}
+
 // Submit issues a request from a core at the current time. The request
 // message takes one network hop (plus jitter) to reach the directory,
 // where it enters the line's FIFO queue.
 func (d *Directory) Submit(req *Request) {
 	req.Issued = d.eng.Now()
-	d.env.CountMsg(MsgRequest, 1)
+	d.countMsg(req.Line, MsgRequest, 1)
 	d.eng.After(d.t.Net+d.jitter(), func() { d.arrive(req) })
 }
 
@@ -216,6 +231,7 @@ func (d *Directory) arrive(req *Request) {
 	if occ > d.MaxQueue {
 		d.MaxQueue = occ
 	}
+	d.Bus.Emit(telemetry.CatDirQueue, req.Core, 0, req.Line, uint64(occ))
 	if !e.busy {
 		d.service(req.Line)
 	}
@@ -242,7 +258,7 @@ func (d *Directory) service(l mem.Line) {
 			req.newState = dirS
 			req.newSharers = bit(e.owner) | bit(req.Core)
 		}
-		d.env.CountMsg(MsgForward, 1)
+		d.countMsg(l, MsgForward, 1)
 		owner := e.owner
 		d.eng.After(d.t.L2Tag+d.t.Net, func() { d.probeArrive(owner, req) })
 
@@ -253,8 +269,8 @@ func (d *Directory) service(l mem.Line) {
 		k := countBits(others)
 		dataReady := d.t.L2Tag + d.t.L2Data
 		if k > 0 {
-			d.env.CountMsg(MsgInval, k)
-			d.env.CountMsg(MsgAck, k)
+			d.countMsg(l, MsgInval, k)
+			d.countMsg(l, MsgAck, k)
 			for c := 0; c < 64; c++ {
 				if others&bit(c) != 0 {
 					c := c
@@ -267,7 +283,7 @@ func (d *Directory) service(l mem.Line) {
 			}
 		}
 		d.env.CountL2()
-		d.env.CountMsg(MsgReply, 1)
+		d.countMsg(l, MsgReply, 1)
 		d.eng.After(dataReady+d.t.Net, func() { d.complete(req) })
 
 	default:
@@ -293,7 +309,7 @@ func (d *Directory) service(l mem.Line) {
 			req.newState = dirS
 			req.newSharers = e.sharers | bit(req.Core)
 		}
-		d.env.CountMsg(MsgReply, 1)
+		d.countMsg(l, MsgReply, 1)
 		d.eng.After(lat+d.t.Net, func() { d.complete(req) })
 	}
 }
@@ -315,8 +331,8 @@ func (d *Directory) ProbeDone(req *Request) { d.ownerDowngraded(req) }
 func (d *Directory) ownerDowngraded(req *Request) {
 	// Owner sends the data directly to the requester and an
 	// ownership-transfer ack to the directory.
-	d.env.CountMsg(MsgReply, 1)
-	d.env.CountMsg(MsgAck, 1)
+	d.countMsg(req.Line, MsgReply, 1)
+	d.countMsg(req.Line, MsgAck, 1)
 	d.eng.After(d.t.Inval+d.t.Net, func() { d.complete(req) })
 }
 
@@ -345,7 +361,7 @@ func (d *Directory) complete(req *Request) {
 // synchronous with the eviction (the writeback buffer drains off the
 // critical path); the message is still counted.
 func (d *Directory) Writeback(core int, l mem.Line) {
-	d.env.CountMsg(MsgWriteback, 1)
+	d.countMsg(l, MsgWriteback, 1)
 	e := d.entry(l)
 	if e.state == dirM && e.owner == core {
 		e.state = dirI

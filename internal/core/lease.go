@@ -60,6 +60,10 @@ type Entry struct {
 	// predictor attributes involuntary releases to it.
 	Site uint64
 
+	// ProbeQueuedAt is the cycle the deferred probe (if any) was queued;
+	// the machine's telemetry uses it to measure probe-deferral delay.
+	ProbeQueuedAt uint64
+
 	probe interface{} // at most one deferred coherence probe (opaque)
 }
 

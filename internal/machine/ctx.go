@@ -179,7 +179,7 @@ func (c *Ctx) LeaseAt(site uint64, a mem.Addr, dur uint64) {
 	cs.leases.Find(l).Site = site
 	if evicted != nil {
 		c.m.stats.EvictedLeases++
-		c.m.trace(cs.id, TraceEvicted, evicted.Line)
+		c.m.traceVal(cs.id, TraceEvicted, evicted.Line, leaseHold(evicted, c.p.Clock()))
 		c.m.releaseEntry(cs, evicted)
 	}
 	if cs.l1.Lookup(l, true) {
@@ -205,13 +205,14 @@ func (c *Ctx) LeaseAt(site uint64, a mem.Addr, dur uint64) {
 func (c *Ctx) Release(a mem.Addr) bool {
 	c.p.Sync()
 	cs := c.cs
+	now := c.p.Clock()
 	e := cs.leases.Remove(mem.LineOf(a))
 	c.p.Work(1)
 	if e == nil {
 		return false
 	}
 	c.m.stats.VoluntaryReleases++
-	c.m.trace(cs.id, TraceVoluntary, e.Line)
+	c.m.traceVal(cs.id, TraceVoluntary, e.Line, leaseHold(e, now))
 	c.m.releaseEntry(cs, e)
 	return true
 }
@@ -229,6 +230,7 @@ func (c *Ctx) releaseAllNow() {
 	cs := c.cs
 	for _, e := range cs.leases.RemoveAll() {
 		c.m.stats.VoluntaryReleases++
+		c.m.traceVal(cs.id, TraceVoluntary, e.Line, leaseHold(e, c.p.Clock()))
 		c.m.releaseEntry(cs, e)
 	}
 }
@@ -266,6 +268,7 @@ func (c *Ctx) MultiLease(dur uint64, addrs ...mem.Addr) bool {
 	}
 	c.p.Sync()
 	for _, e := range cs.leases.StartGroup(c.p.Clock()) {
+		c.m.trace(cs.id, TraceStart, e.Line)
 		c.m.scheduleExpiry(cs, e)
 	}
 	return true

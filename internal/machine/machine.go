@@ -19,6 +19,7 @@ import (
 	"leaserelease/internal/core"
 	"leaserelease/internal/mem"
 	"leaserelease/internal/sim"
+	"leaserelease/internal/telemetry"
 )
 
 // Machine is one simulated multicore chip.
@@ -32,7 +33,7 @@ type Machine struct {
 
 	stats   Stats // machine-level counters (caches keep their own)
 	spawned int
-	tracer  func(TraceEvent)
+	bus     *telemetry.Bus // nil until Telemetry() — telemetry disabled
 }
 
 type coreState struct {
@@ -170,6 +171,15 @@ func (m *Machine) Poke(a mem.Addr, v uint64) { m.store.Store(a, v) }
 
 // ---- lease-side mechanics shared by Ctx ops, probes, and timers ----
 
+// leaseHold returns the cycles a started lease has been held as of now,
+// or telemetry.NoVal for a lease whose countdown never started.
+func leaseHold(e *core.Entry, now uint64) uint64 {
+	if e == nil || !e.Started {
+		return telemetry.NoVal
+	}
+	return now - (e.Deadline - e.Duration)
+}
+
 // serveDeferred delivers the (at most one) probe deferred on a released
 // lease entry: downgrade the local copy and let the directory finish the
 // stalled transaction.
@@ -179,6 +189,10 @@ func (m *Machine) serveDeferred(cs *coreState, e *core.Entry) {
 		return
 	}
 	req := p.(*coherence.Request)
+	if m.bus != nil {
+		m.bus.Emit(telemetry.CatLease, cs.id, telemetry.ProbeServed, e.Line,
+			m.eng.Now()-e.ProbeQueuedAt)
+	}
 	to := cache.Shared
 	if req.Excl {
 		to = cache.Invalid
@@ -197,7 +211,7 @@ func (m *Machine) scheduleExpiry(cs *coreState, e *core.Entry) {
 			return // released voluntarily (or evicted) in the meantime
 		}
 		m.stats.InvoluntaryReleases++
-		m.trace(cs.id, TraceInvoluntary, line)
+		m.traceVal(cs.id, TraceInvoluntary, line, x.Duration)
 		cs.pred.record(x.Site, false)
 		cs.l1.Unpin(line)
 		m.serveDeferred(cs, x)
@@ -226,7 +240,7 @@ func (m *Machine) installLine(cs *coreState, l mem.Line, st cache.State) {
 			panic("machine: L1 set fully pinned but lease table empty")
 		}
 		m.stats.ForcedReleases++
-		m.trace(cs.id, TraceForced, e.Line)
+		m.traceVal(cs.id, TraceForced, e.Line, leaseHold(e, m.eng.Now()))
 		m.releaseEntry(cs, e)
 	}
 	victim, vst, evicted := cs.l1.Install(l, st)
@@ -260,13 +274,16 @@ func (d *dirEnv) DeliverProbe(owner int, req *coherence.Request) bool {
 			// §5 prioritization: a regular request breaks the lease.
 			e := cs.leases.Remove(req.Line)
 			m.stats.BrokenLeases++
-			m.trace(owner, TraceBroken, req.Line)
+			m.traceVal(owner, TraceBroken, req.Line, leaseHold(e, m.eng.Now()))
 			cs.l1.Unpin(req.Line)
 			if e.HasProbe() {
 				panic("machine: broken lease already had a deferred probe (violates Proposition 1)")
 			}
 		} else {
 			cs.leases.QueueProbe(req.Line, req)
+			if e := cs.leases.Find(req.Line); e != nil {
+				e.ProbeQueuedAt = m.eng.Now()
+			}
 			m.trace(owner, TraceDeferred, req.Line)
 			return true
 		}

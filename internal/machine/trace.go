@@ -4,30 +4,33 @@ import (
 	"fmt"
 
 	"leaserelease/internal/mem"
+	"leaserelease/internal/telemetry"
 )
 
-// TraceKind classifies lease-mechanism events for tracing.
+// TraceKind classifies lease-mechanism events for tracing. The values
+// alias the telemetry package's canonical lease-kind numbering, so bus
+// subscribers and TraceEvent consumers agree on kinds.
 type TraceKind int
 
 const (
 	// TraceLease: a lease entry was created.
-	TraceLease TraceKind = iota
+	TraceLease = TraceKind(telemetry.LeaseCreated)
 	// TraceStart: a lease countdown started (ownership granted).
-	TraceStart
+	TraceStart = TraceKind(telemetry.LeaseStarted)
 	// TraceVoluntary: released by the program before expiry.
-	TraceVoluntary
+	TraceVoluntary = TraceKind(telemetry.LeaseReleased)
 	// TraceInvoluntary: the MAX_LEASE_TIME timer fired.
-	TraceInvoluntary
+	TraceInvoluntary = TraceKind(telemetry.LeaseExpired)
 	// TraceEvicted: FIFO-evicted by a newer lease (table full).
-	TraceEvicted
+	TraceEvicted = TraceKind(telemetry.LeaseEvicted)
 	// TraceForced: force-released to unpin a full L1 set.
-	TraceForced
+	TraceForced = TraceKind(telemetry.LeaseForced)
 	// TraceBroken: broken by a regular request (prioritization mode).
-	TraceBroken
+	TraceBroken = TraceKind(telemetry.LeaseBroken)
 	// TraceDeferred: an incoming probe was queued behind the lease.
-	TraceDeferred
+	TraceDeferred = TraceKind(telemetry.ProbeDeferred)
 	// TraceIgnored: skipped by the speculative predictor.
-	TraceIgnored
+	TraceIgnored = TraceKind(telemetry.LeaseIgnored)
 )
 
 func (k TraceKind) String() string {
@@ -67,13 +70,46 @@ func (e TraceEvent) String() string {
 	return fmt.Sprintf("[%10d] core %2d %-7s line %#x", e.Time, e.Core, e.Kind, uint64(e.Line))
 }
 
-// SetTracer installs fn to receive every lease-mechanism event (nil
-// disables tracing, the default). Tracing is for debugging and
-// demonstrations; it does not affect timing.
-func (m *Machine) SetTracer(fn func(TraceEvent)) { m.tracer = fn }
-
-func (m *Machine) trace(core int, kind TraceKind, line mem.Line) {
-	if m.tracer != nil {
-		m.tracer(TraceEvent{Time: m.eng.Now(), Core: core, Kind: kind, Line: line})
+// Telemetry returns the machine's telemetry bus, creating and wiring it on
+// first use (directory and per-core L1 caches start emitting into it).
+// Before the first call, no bus exists and every emit site is a single
+// nil-check — the disabled configuration has zero observable overhead.
+func (m *Machine) Telemetry() *telemetry.Bus {
+	if m.bus == nil {
+		m.bus = telemetry.NewBus(m.eng.Now)
+		m.dir.Bus = m.bus
+		for _, cs := range m.cores {
+			cs.l1.Bus = m.bus
+			cs.l1.CoreID = cs.id
+		}
 	}
+	return m.bus
+}
+
+// SetTracer subscribes fn to every lease-mechanism event, adapting the
+// telemetry bus to the legacy single-callback interface. Tracing is for
+// debugging and demonstrations; it does not affect timing. A nil fn is
+// ignored (tracing stays as it was).
+func (m *Machine) SetTracer(fn func(TraceEvent)) {
+	if fn == nil {
+		return
+	}
+	m.Telemetry().Subscribe(telemetry.CatLease, func(e telemetry.Event) {
+		if e.Kind > uint8(TraceIgnored) {
+			return // bus-only kinds (e.g. ProbeServed) are not TraceEvents
+		}
+		fn(TraceEvent{Time: e.Time, Core: e.Core, Kind: TraceKind(e.Kind), Line: e.Line})
+	})
+}
+
+// trace emits a lease-lifecycle event with no measurement payload.
+func (m *Machine) trace(core int, kind TraceKind, line mem.Line) {
+	m.traceVal(core, kind, line, telemetry.NoVal)
+}
+
+// traceVal emits a lease-lifecycle event onto the telemetry bus; val
+// carries the kind-specific measurement (hold cycles for release-class
+// kinds) or telemetry.NoVal.
+func (m *Machine) traceVal(core int, kind TraceKind, line mem.Line, val uint64) {
+	m.bus.Emit(telemetry.CatLease, core, uint8(kind), line, val)
 }

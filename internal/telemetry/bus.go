@@ -1,0 +1,147 @@
+// Package telemetry is the simulator's observability layer: a structured
+// event bus the machine/coherence/cache layers emit into, cycle-domain
+// log-bucketed histograms, a hot-line profiler, and timeline/JSON
+// exporters.
+//
+// The layer is zero-overhead when disabled: every emit site is guarded by
+// Bus.Wants, which is a nil-check plus one bitmask test, and no Event is
+// even constructed unless at least one subscriber registered for the
+// category. Because all event payloads are keyed to the deterministic
+// simulated clock, all derived telemetry (histograms, hot-line rankings,
+// timelines) is byte-for-byte reproducible for a given seed.
+package telemetry
+
+import "leaserelease/internal/mem"
+
+// Category partitions events into independently subscribable streams.
+type Category uint8
+
+const (
+	// CatLease carries lease-lifecycle events (Event.Kind is one of the
+	// Lease*/Probe* kinds below, mirrored by machine.TraceKind).
+	CatLease Category = iota
+	// CatCoherence carries per-line coherence-message events (Event.Kind
+	// is one of the Msg* kinds; Event.Val is the message count).
+	CatCoherence
+	// CatCache carries L1 eviction events (Event.Kind is the victim's MSI
+	// state as a uint8; Event.Line is the victim line).
+	CatCache
+	// CatDirQueue carries directory queue-pressure events: one event per
+	// request arrival, with Event.Val the line's queue occupancy
+	// (including the request in service).
+	CatDirQueue
+	// NumCategories is the number of event categories.
+	NumCategories
+)
+
+func (c Category) String() string {
+	switch c {
+	case CatLease:
+		return "lease"
+	case CatCoherence:
+		return "coherence"
+	case CatCache:
+		return "cache"
+	case CatDirQueue:
+		return "dirqueue"
+	}
+	return "category?"
+}
+
+// Lease-lifecycle kinds (CatLease). The first nine values are the canonical
+// numbering of machine.TraceKind, which aliases them; ProbeServed exists
+// only on the bus (it carries the deferral delay, not a lease transition).
+const (
+	LeaseCreated  uint8 = iota // lease table entry created
+	LeaseStarted               // ownership granted, countdown running
+	LeaseReleased              // voluntary release; Val = hold cycles
+	LeaseExpired               // MAX_LEASE_TIME timer fired; Val = hold cycles
+	LeaseEvicted               // FIFO-evicted by a newer lease; Val = hold cycles or NoVal
+	LeaseForced                // force-released to unpin a full L1 set; Val likewise
+	LeaseBroken                // broken by a regular request (§5); Val likewise
+	ProbeDeferred              // an incoming probe was queued behind the lease
+	LeaseIgnored               // skipped by the §5 speculative predictor
+	ProbeServed                // a deferred probe was delivered; Val = deferral delay
+)
+
+// Coherence message kinds (CatCoherence). coherence.MsgKind aliases these,
+// keeping the numbering in one place.
+const (
+	MsgRequest uint8 = iota
+	MsgReply
+	MsgForward
+	MsgInval
+	MsgAck
+	MsgWriteback
+)
+
+// NumMsgKinds is the number of coherence message kinds.
+const NumMsgKinds = 6
+
+// NoVal marks an Event.Val that carries no measurement (e.g. the hold time
+// of a lease that never started its countdown).
+const NoVal = ^uint64(0)
+
+// Event is one telemetry event. Kind and Val are category-specific; see the
+// Category constants.
+type Event struct {
+	Time uint64   // simulated cycle of the event
+	Core int      // emitting core, or -1 for directory-side events
+	Cat  Category // event category
+	Kind uint8    // category-specific subtype
+	Line mem.Line // cache line the event concerns (0 if none)
+	Val  uint64   // category-specific payload (duration, occupancy, count)
+}
+
+// Bus is a multi-subscriber event bus over the simulated machine. A nil
+// *Bus is valid and inert: Wants reports false and Emit is a no-op, so
+// emitters need no nil checks beyond calling the methods.
+//
+// Subscribers run synchronously on the simulation goroutine, in
+// subscription order; they observe events in global simulated-time order
+// and must not mutate simulated state.
+type Bus struct {
+	now  func() uint64
+	mask uint32
+	subs [NumCategories][]func(Event)
+}
+
+// NewBus creates a bus whose events are timestamped by now (typically the
+// simulation engine's clock).
+func NewBus(now func() uint64) *Bus {
+	return &Bus{now: now}
+}
+
+// Subscribe registers fn for one category and enables emission for it.
+func (b *Bus) Subscribe(cat Category, fn func(Event)) {
+	if cat >= NumCategories {
+		panic("telemetry: bad category")
+	}
+	b.subs[cat] = append(b.subs[cat], fn)
+	b.mask |= 1 << cat
+}
+
+// SubscribeAll registers fn for every category.
+func (b *Bus) SubscribeAll(fn func(Event)) {
+	for c := Category(0); c < NumCategories; c++ {
+		b.Subscribe(c, fn)
+	}
+}
+
+// Wants reports whether anyone is listening to cat. It is the hot-path
+// guard: emitters call it before assembling an event's payload.
+func (b *Bus) Wants(cat Category) bool {
+	return b != nil && b.mask&(1<<cat) != 0
+}
+
+// Emit timestamps and delivers an event to cat's subscribers. No-op when
+// nobody subscribed (or b is nil).
+func (b *Bus) Emit(cat Category, core int, kind uint8, line mem.Line, val uint64) {
+	if !b.Wants(cat) {
+		return
+	}
+	e := Event{Time: b.now(), Core: core, Cat: cat, Kind: kind, Line: line, Val: val}
+	for _, fn := range b.subs[cat] {
+		fn(e)
+	}
+}

@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"sort"
+
+	"leaserelease/internal/mem"
+)
+
+// LineStats accumulates per-cache-line contention counters. A line's
+// Score ranks it in the hot-line profile.
+type LineStats struct {
+	Line mem.Line `json:"line"`
+
+	Msgs      uint64 `json:"msgs"`            // coherence messages for the line
+	Invals    uint64 `json:"invalidations"`   // owner probes + sharer invalidations
+	Deferred  uint64 `json:"deferred_probes"` // probes queued behind a lease
+	Leases    uint64 `json:"leases"`          // lease entries created
+	Breaks    uint64 `json:"broken_leases"`   // leases broken by regular requests
+	Evictions uint64 `json:"l1_evictions"`    // L1 replacement victims
+	MaxQueue  uint64 `json:"max_dir_queue"`   // peak directory queue occupancy
+}
+
+// Score is the contention ranking key: coherence conflict events
+// (invalidations, deferred probes, lease breaks) weigh alongside raw
+// message traffic.
+func (s *LineStats) Score() uint64 {
+	return s.Invals + s.Deferred + s.Breaks + s.Msgs
+}
+
+// HotLines aggregates LineStats per line and ranks the top K — turning
+// "this workload is contended" into "these 3 lines are contended". The
+// zero value is ready for use.
+type HotLines struct {
+	lines map[mem.Line]*LineStats
+}
+
+// Get returns the (lazily created) counters for line l.
+func (h *HotLines) Get(l mem.Line) *LineStats {
+	if h.lines == nil {
+		h.lines = make(map[mem.Line]*LineStats)
+	}
+	s, ok := h.lines[l]
+	if !ok {
+		s = &LineStats{Line: l}
+		h.lines[l] = s
+	}
+	return s
+}
+
+// Len returns the number of distinct lines observed.
+func (h *HotLines) Len() int { return len(h.lines) }
+
+// Top returns the k highest-Score lines, ties broken by more deferred
+// probes, then more invalidations, then lower line address — a total
+// order, so the ranking is deterministic for a given event stream.
+func (h *HotLines) Top(k int) []LineStats {
+	all := make([]LineStats, 0, len(h.lines))
+	for _, s := range h.lines {
+		all = append(all, *s)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		si, sj := all[i].Score(), all[j].Score()
+		if si != sj {
+			return si > sj
+		}
+		if all[i].Deferred != all[j].Deferred {
+			return all[i].Deferred > all[j].Deferred
+		}
+		if all[i].Invals != all[j].Invals {
+			return all[i].Invals > all[j].Invals
+		}
+		return all[i].Line < all[j].Line
+	})
+	if k < len(all) {
+		all = all[:k]
+	}
+	return all
+}

@@ -1,0 +1,89 @@
+package telemetry
+
+// Recorder is the standard bus consumer: it folds the event stream into
+// cycle-domain histograms (lease hold time, probe-deferral delay,
+// directory queue occupancy), the per-line hot-line profile, and an
+// optional timeline. OpLatency is not bus-fed — the bench harness
+// observes it directly around each data structure operation.
+//
+// One Recorder serves one machine/run; Attach it to the machine's bus
+// before the simulation starts.
+type Recorder struct {
+	OpLatency  Hist // per-operation latency, cycles (fed by the harness)
+	LeaseHold  Hist // lease start -> release/expire/break, cycles
+	ProbeDefer Hist // probe deferral delay behind a lease, cycles
+	DirQueue   Hist // per-line directory queue occupancy at arrival
+
+	Lines HotLines
+
+	// Timeline, when non-nil (EnableTimeline), collects per-core lease
+	// intervals for Chrome-trace export.
+	Timeline *Timeline
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// EnableTimeline attaches a timeline exporter (see NewTimeline for the
+// cyclesPerUS convention) and returns it.
+func (r *Recorder) EnableTimeline(cyclesPerUS float64) *Timeline {
+	r.Timeline = NewTimeline(cyclesPerUS)
+	return r.Timeline
+}
+
+// Attach subscribes the recorder to every category it consumes.
+func (r *Recorder) Attach(b *Bus) {
+	b.Subscribe(CatLease, r.onLease)
+	b.Subscribe(CatCoherence, r.onCoherence)
+	b.Subscribe(CatCache, r.onCache)
+	b.Subscribe(CatDirQueue, r.onDirQueue)
+}
+
+func (r *Recorder) onLease(e Event) {
+	switch e.Kind {
+	case LeaseCreated:
+		r.Lines.Get(e.Line).Leases++
+	case LeaseReleased, LeaseExpired, LeaseEvicted, LeaseForced, LeaseBroken:
+		if e.Val != NoVal {
+			r.LeaseHold.Observe(e.Val)
+		}
+		if e.Kind == LeaseBroken {
+			r.Lines.Get(e.Line).Breaks++
+		}
+	case ProbeDeferred:
+		r.Lines.Get(e.Line).Deferred++
+	case ProbeServed:
+		if e.Val != NoVal {
+			r.ProbeDefer.Observe(e.Val)
+		}
+	}
+	if r.Timeline != nil {
+		r.Timeline.OnLease(e)
+	}
+}
+
+func (r *Recorder) onCoherence(e Event) {
+	s := r.Lines.Get(e.Line)
+	s.Msgs += e.Val
+	if e.Kind == MsgInval || e.Kind == MsgForward {
+		s.Invals += e.Val
+	}
+}
+
+func (r *Recorder) onCache(e Event) {
+	r.Lines.Get(e.Line).Evictions++
+}
+
+func (r *Recorder) onDirQueue(e Event) {
+	r.DirQueue.Observe(e.Val)
+	if s := r.Lines.Get(e.Line); e.Val > s.MaxQueue {
+		s.MaxQueue = e.Val
+	}
+}
+
+// Finish closes the timeline (if any) at simulated end-of-run time now.
+func (r *Recorder) Finish(now uint64) {
+	if r.Timeline != nil {
+		r.Timeline.Finish(now)
+	}
+}

@@ -1,0 +1,231 @@
+package telemetry
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"leaserelease/internal/mem"
+)
+
+func TestHistBasics(t *testing.T) {
+	var h Hist
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("zero hist must report zeros")
+	}
+	for _, v := range []uint64{0, 1, 2, 3, 100, 1000, 1000, 1 << 40} {
+		h.Observe(v)
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count = %d, want 8", h.Count())
+	}
+	if h.Min() != 0 || h.Max() != 1<<40 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	wantMean := float64(0+1+2+3+100+1000+1000+(1<<40)) / 8
+	if h.Mean() != wantMean {
+		t.Fatalf("mean = %v, want %v", h.Mean(), wantMean)
+	}
+	if h.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+// Quantiles must be monotone in q, bounded by [min, max], and roughly
+// track the underlying distribution despite log bucketing.
+func TestHistQuantiles(t *testing.T) {
+	var h Hist
+	for v := uint64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	prev := uint64(0)
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%v: %d < %d", q, v, prev)
+		}
+		if v < h.Min() || v > h.Max() {
+			t.Fatalf("quantile %v = %d outside [%d, %d]", q, v, h.Min(), h.Max())
+		}
+		prev = v
+	}
+	p50 := h.Quantile(0.5)
+	// Log-bucketed: p50 of uniform(1..1000) must land within the
+	// containing power-of-two bucket of the true median 500.
+	if p50 < 256 || p50 > 1000 {
+		t.Fatalf("p50 = %d, want within [256, 1000]", p50)
+	}
+}
+
+func TestHistAddMatchesMergedStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var a, b, merged Hist
+	for i := 0; i < 5000; i++ {
+		v := uint64(rng.Intn(1 << 20))
+		merged.Observe(v)
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	a.Add(&b)
+	if !reflect.DeepEqual(a, merged) {
+		t.Fatal("Add result differs from single-stream histogram")
+	}
+}
+
+func TestBusNilSafe(t *testing.T) {
+	var b *Bus
+	if b.Wants(CatLease) {
+		t.Fatal("nil bus wants events")
+	}
+	b.Emit(CatLease, 0, LeaseCreated, 1, 0) // must not panic
+}
+
+func TestBusRouting(t *testing.T) {
+	now := uint64(7)
+	b := NewBus(func() uint64 { return now })
+	var lease, all []Event
+	b.Subscribe(CatLease, func(e Event) { lease = append(lease, e) })
+	b.SubscribeAll(func(e Event) { all = append(all, e) })
+	if !b.Wants(CatLease) || !b.Wants(CatCache) {
+		t.Fatal("Wants must reflect subscriptions")
+	}
+	b.Emit(CatLease, 3, LeaseStarted, mem.Line(0x40), NoVal)
+	now = 9
+	b.Emit(CatCache, 1, 2, mem.Line(0x80), 1)
+	if len(lease) != 1 || len(all) != 2 {
+		t.Fatalf("lease=%d all=%d, want 1/2", len(lease), len(all))
+	}
+	want := Event{Time: 7, Core: 3, Cat: CatLease, Kind: LeaseStarted, Line: 0x40, Val: NoVal}
+	if lease[0] != want {
+		t.Fatalf("event = %+v, want %+v", lease[0], want)
+	}
+	if all[1].Time != 9 || all[1].Cat != CatCache {
+		t.Fatalf("second event = %+v", all[1])
+	}
+}
+
+func TestHotLinesRankingDeterministic(t *testing.T) {
+	build := func(order []int) []LineStats {
+		var h HotLines
+		for _, i := range order {
+			l := mem.Line(i)
+			s := h.Get(l)
+			s.Msgs = uint64(i % 3)      // many score ties
+			s.Deferred = uint64(i % 2)  // tie-break level 1
+			s.Invals = uint64(i % 2)    // tie-break level 2
+		}
+		return h.Top(10)
+	}
+	order := make([]int, 64)
+	for i := range order {
+		order[i] = i
+	}
+	a := build(order)
+	sort.Sort(sort.Reverse(sort.IntSlice(order)))
+	bTop := build(order)
+	if !reflect.DeepEqual(a, bTop) {
+		t.Fatalf("ranking depends on insertion order:\n%v\n%v", a, bTop)
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].Score() > a[i-1].Score() {
+			t.Fatal("ranking not sorted by score")
+		}
+	}
+}
+
+func TestTimelineDeterministicOutput(t *testing.T) {
+	feed := func() *Timeline {
+		tl := NewTimeline(1000)
+		tl.OnLease(Event{Time: 100, Core: 1, Kind: LeaseStarted, Line: 0x40})
+		tl.OnLease(Event{Time: 150, Core: 0, Kind: LeaseStarted, Line: 0x80})
+		tl.OnLease(Event{Time: 160, Core: 1, Kind: ProbeDeferred, Line: 0x40})
+		tl.OnLease(Event{Time: 180, Core: 1, Kind: LeaseReleased, Line: 0x40, Val: 80})
+		tl.OnLease(Event{Time: 500, Core: 2, Kind: LeaseStarted, Line: 0xc0})
+		tl.Finish(1000) // cores 0 and 2 still open
+		return tl
+	}
+	var a, b bytes.Buffer
+	if err := feed().Write(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := feed().Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("timeline output not byte-for-byte deterministic")
+	}
+	out := a.String()
+	for _, want := range []string{`"traceEvents"`, `"ph": "X"`, `"ph": "i"`, `"reason": "open at end of run"`, `"core 2"`} {
+		if !bytes.Contains(a.Bytes(), []byte(want)) {
+			t.Fatalf("timeline output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// A closed lease interval must convert cycles to trace microseconds via
+// CyclesPerUS.
+func TestTimelineUnits(t *testing.T) {
+	tl := NewTimeline(1000)
+	tl.OnLease(Event{Time: 2000, Core: 0, Kind: LeaseStarted, Line: 0x40})
+	tl.OnLease(Event{Time: 4000, Core: 0, Kind: LeaseExpired, Line: 0x40, Val: 2000})
+	if len(tl.events) != 1 {
+		t.Fatalf("events = %d, want 1", len(tl.events))
+	}
+	e := tl.events[0]
+	if e.Ts != 2.0 || e.Dur == nil || *e.Dur != 2.0 {
+		t.Fatalf("ts/dur = %v/%v, want 2.0/2.0", e.Ts, e.Dur)
+	}
+	if e.Args == nil || e.Args.HoldCycles != 2000 || e.Args.Reason != "expire" {
+		t.Fatalf("args = %+v", e.Args)
+	}
+}
+
+func TestRecorderFoldsEvents(t *testing.T) {
+	now := uint64(0)
+	b := NewBus(func() uint64 { return now })
+	r := NewRecorder()
+	r.EnableTimeline(1000)
+	r.Attach(b)
+
+	l := mem.Line(0x40)
+	b.Emit(CatLease, 0, LeaseCreated, l, NoVal)
+	now = 10
+	b.Emit(CatLease, 0, LeaseStarted, l, NoVal)
+	now = 20
+	b.Emit(CatLease, 0, ProbeDeferred, l, NoVal)
+	now = 60
+	b.Emit(CatLease, 0, LeaseReleased, l, 50)
+	b.Emit(CatLease, 0, ProbeServed, l, 40)
+	b.Emit(CatCoherence, -1, MsgInval, l, 2)
+	b.Emit(CatCoherence, -1, MsgReply, l, 1)
+	b.Emit(CatDirQueue, 1, 0, l, 5)
+	b.Emit(CatCache, 0, 2, l, 1)
+	// A lease that never starts must not pollute the hold histogram.
+	b.Emit(CatLease, 1, LeaseEvicted, mem.Line(0x80), NoVal)
+
+	if got := r.LeaseHold.Count(); got != 1 {
+		t.Fatalf("hold count = %d, want 1", got)
+	}
+	if got := r.LeaseHold.Max(); got != 50 {
+		t.Fatalf("hold max = %d, want 50", got)
+	}
+	if got := r.ProbeDefer.Max(); got != 40 {
+		t.Fatalf("defer max = %d, want 40", got)
+	}
+	if got := r.DirQueue.Max(); got != 5 {
+		t.Fatalf("dirq max = %d, want 5", got)
+	}
+	s := r.Lines.Get(l)
+	if s.Leases != 1 || s.Deferred != 1 || s.Msgs != 3 || s.Invals != 2 ||
+		s.Evictions != 1 || s.MaxQueue != 5 {
+		t.Fatalf("line stats = %+v", s)
+	}
+	if len(r.Timeline.events) != 2 { // probe-deferred instant + closed slice
+		t.Fatalf("timeline events = %d, want 2", len(r.Timeline.events))
+	}
+}
