@@ -112,8 +112,12 @@ func BenchmarkFig5Pagerank(b *testing.B) {
 		b.Run(v.name, func(b *testing.B) {
 			var cycles uint64
 			for i := 0; i < b.N; i++ {
-				cycles, _ = bench.PagerankRun(machine.DefaultConfig(benchThreads),
+				var err error
+				cycles, _, err = bench.PagerankRun(machine.DefaultConfig(benchThreads),
 					benchThreads, v.lease, 256, 2)
+				if err != nil {
+					b.Fatal(err)
+				}
 			}
 			b.ReportMetric(float64(cycles)/1e6, "simMcycles")
 		})

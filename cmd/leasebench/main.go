@@ -8,6 +8,10 @@
 //	leasebench -list
 //	leasebench -exp fig2
 //	leasebench -exp all [-quick] [-threads 2,4,8] [-window 1500000]
+//
+// An experiment that panics is recovered and reported; the remaining
+// experiments still run and the exit status is 1. -strict aborts at the
+// first failed experiment instead.
 package main
 
 import (
@@ -29,6 +33,7 @@ func main() {
 		threads = flag.String("threads", "", "comma-separated thread counts (override)")
 		warm    = flag.Uint64("warm", 0, "warmup cycles (override)")
 		window  = flag.Uint64("window", 0, "measurement window cycles (override)")
+		strict  = flag.Bool("strict", false, "abort at the first failed experiment")
 	)
 	flag.Parse()
 
@@ -65,16 +70,35 @@ func main() {
 		p.Window = *window
 	}
 
-	run := func(e bench.Experiment) {
+	// run executes one experiment, converting an escaping panic (which the
+	// sim kernel annotates with cycle/proc/event context) into a reported
+	// failure so the remaining experiments still run.
+	run := func(e bench.Experiment) (ok bool) {
 		fmt.Printf("## %s — %s\n", e.ID, e.Paper)
 		start := time.Now()
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+				fmt.Fprintf(os.Stderr, "leasebench: experiment %s FAILED: %v\n", e.ID, r)
+			}
+			fmt.Printf("(wall time %.1fs)\n\n", time.Since(start).Seconds())
+		}()
 		e.Run(os.Stdout, p)
-		fmt.Printf("(wall time %.1fs)\n\n", time.Since(start).Seconds())
+		return true
 	}
 
 	if *exp == "all" {
+		failed := false
 		for _, e := range bench.All() {
-			run(e)
+			if !run(e) {
+				failed = true
+				if *strict {
+					os.Exit(1)
+				}
+			}
+		}
+		if failed {
+			os.Exit(1)
 		}
 		return
 	}
@@ -83,5 +107,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "leasebench: unknown experiment %q (use -list)\n", *exp)
 		os.Exit(2)
 	}
-	run(e)
+	if !run(e) {
+		os.Exit(1)
+	}
 }

@@ -1,5 +1,5 @@
-// Command leasesim runs a single configurable simulation and dumps full
-// hardware counters — an explorer/debugger for the simulated machine.
+// Command leasesim runs configurable simulations and dumps full hardware
+// counters — an explorer/debugger for the simulated machine.
 //
 // Usage:
 //
@@ -7,6 +7,15 @@
 //	leasesim -ds counter -threads 16 -priority
 //	leasesim -ds tl2 -threads 8 -multilease sw
 //	leasesim -ds stack -threads 16 -lease -json -hotlines 5 -timeline t.json
+//	leasesim -ds stack -threads 4,8,16 -lease -invariants -faults
+//
+// -threads accepts a comma-separated sweep; each count is one cell. A
+// failing cell (deadlock, panic, protocol/invariant violation) is
+// reported on stderr with a machine state dump, the rest of the sweep
+// still runs, and the exit status is 1; -strict instead aborts at the
+// first failed cell. -invariants attaches the runtime invariant checker;
+// -faults enables deterministic protocol-legal fault injection (seeded
+// from -seed, so failures replay exactly).
 //
 // Every run records telemetry (latency/hold-time/queue histograms and the
 // per-line contention profile). -json switches the report to machine-
@@ -20,69 +29,144 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"leaserelease/internal/bench"
 	"leaserelease/internal/ds"
+	"leaserelease/internal/faults"
 	"leaserelease/internal/machine"
 	"leaserelease/internal/multiqueue"
 	"leaserelease/internal/stm"
 	"leaserelease/internal/telemetry"
 )
 
+func parseThreads(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 || n > 64 {
+			return nil, fmt.Errorf("bad thread count %q (want 1..64)", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
 func main() {
 	var (
-		dsName    = flag.String("ds", "stack", "data structure: stack|queue|pq|counter|multiqueue|tl2|harris|skiplist|bst|hash|lfskip|lfbst|lfhash")
-		threads   = flag.Int("threads", 8, "thread/core count (1..64)")
-		lease     = flag.Bool("lease", false, "enable the paper's lease placement")
-		leaseTime = flag.Uint64("leasetime", 20000, "lease duration in cycles")
-		maxLease  = flag.Uint64("maxleasetime", 20000, "MAX_LEASE_TIME in cycles")
-		cycles    = flag.Uint64("cycles", 1_000_000, "cycles to simulate")
-		warm      = flag.Uint64("warm", 100_000, "warmup cycles excluded from the report")
-		priority  = flag.Bool("priority", false, "regular requests break leases (§5)")
-		mesi      = flag.Bool("mesi", false, "MESI exclusive-clean read fills (§8)")
-		trace     = flag.Int("trace", 0, "print the first N lease-mechanism events")
-		predictor = flag.Bool("predictor", false, "enable the §5 speculative lease predictor")
-		multi     = flag.String("multilease", "hw", "tl2 multilease flavor: hw|sw|single|off")
-		seed      = flag.Uint64("seed", 1, "simulation seed")
-		jsonOut   = flag.Bool("json", false, "emit the run report as JSON on stdout")
-		hotlines  = flag.Int("hotlines", 10, "rank the top-N contended cache lines (0 disables)")
-		timeline  = flag.String("timeline", "", "write a Chrome trace-event timeline to this file")
-		samples   = flag.Int("sample", 0, "sample N windowed Stats deltas as a time series")
+		dsName     = flag.String("ds", "stack", "data structure: stack|queue|pq|counter|multiqueue|tl2|harris|skiplist|bst|hash|lfskip|lfbst|lfhash")
+		threads    = flag.String("threads", "8", "thread/core count, or a comma-separated sweep (e.g. 4,8,16)")
+		lease      = flag.Bool("lease", false, "enable the paper's lease placement")
+		leaseTime  = flag.Uint64("leasetime", 20000, "lease duration in cycles")
+		maxLease   = flag.Uint64("maxleasetime", 20000, "MAX_LEASE_TIME in cycles")
+		cycles     = flag.Uint64("cycles", 1_000_000, "cycles to simulate")
+		warm       = flag.Uint64("warm", 100_000, "warmup cycles excluded from the report")
+		priority   = flag.Bool("priority", false, "regular requests break leases (§5)")
+		mesi       = flag.Bool("mesi", false, "MESI exclusive-clean read fills (§8)")
+		trace      = flag.Int("trace", 0, "print the first N lease-mechanism events")
+		predictor  = flag.Bool("predictor", false, "enable the §5 speculative lease predictor")
+		multi      = flag.String("multilease", "hw", "tl2 multilease flavor: hw|sw|single|off")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		jsonOut    = flag.Bool("json", false, "emit each run report as JSON on stdout")
+		hotlines   = flag.Int("hotlines", 10, "rank the top-N contended cache lines (0 disables)")
+		timeline   = flag.String("timeline", "", "write a Chrome trace-event timeline to this file")
+		samples    = flag.Int("sample", 0, "sample N windowed Stats deltas as a time series")
+		invariants = flag.Bool("invariants", false, "attach the runtime invariant checker (violations fail the run)")
+		faultsOn   = flag.Bool("faults", false, "enable deterministic protocol-legal fault injection")
+		strict     = flag.Bool("strict", false, "abort the sweep at the first failed cell")
 	)
 	flag.Parse()
 
-	cfg := machine.DefaultConfig(*threads)
-	cfg.Lease.MaxLeaseTime = *maxLease
-	cfg.RegularBreaksLease = *priority
-	cfg.MESI = *mesi
-	cfg.Predictor.Enable = *predictor
-	cfg.Seed = *seed
+	threadList, err := parseThreads(*threads)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "leasesim: %v\n", err)
+		os.Exit(2)
+	}
+
+	anyFailed := false
+	for _, n := range threadList {
+		tl := *timeline
+		if tl != "" && len(threadList) > 1 {
+			tl = fmt.Sprintf("%s.t%d", tl, n)
+		}
+		if !runCell(cell{
+			ds: *dsName, threads: n, lease: *lease, leaseTime: *leaseTime,
+			maxLease: *maxLease, cycles: *cycles, warm: *warm,
+			priority: *priority, mesi: *mesi, trace: *trace,
+			predictor: *predictor, multi: *multi, seed: *seed,
+			jsonOut: *jsonOut, hotlines: *hotlines, timeline: tl,
+			samples: *samples, invariants: *invariants, faults: *faultsOn,
+		}) {
+			anyFailed = true
+			if *strict {
+				os.Exit(1)
+			}
+		}
+	}
+	if anyFailed {
+		os.Exit(1)
+	}
+}
+
+// cell is one sweep configuration (one thread count).
+type cell struct {
+	ds                  string
+	threads             int
+	lease               bool
+	leaseTime, maxLease uint64
+	cycles, warm        uint64
+	priority, mesi      bool
+	trace               int
+	predictor           bool
+	multi               string
+	seed                uint64
+	jsonOut             bool
+	hotlines            int
+	timeline            string
+	samples             int
+	invariants, faults  bool
+}
+
+// runCell runs one configuration and reports it; false means the run
+// failed (the failure has been reported on stderr).
+func runCell(c cell) bool {
+	cfg := machine.DefaultConfig(c.threads)
+	cfg.Lease.MaxLeaseTime = c.maxLease
+	cfg.RegularBreaksLease = c.priority
+	cfg.MESI = c.mesi
+	cfg.Predictor.Enable = c.predictor
+	cfg.Seed = c.seed
+	if c.faults {
+		cfg.Faults = faults.DefaultConfig()
+		cfg.Faults.Seed = c.seed
+	}
 
 	lt := uint64(0)
-	if *lease {
-		lt = *leaseTime
+	if c.lease {
+		lt = c.leaseTime
 	}
 
 	var build func(d *machine.Direct) bench.OpFunc
 	var aborts uint64
-	switch *dsName {
+	switch c.ds {
 	case "stack":
 		build = bench.StackWorkload(ds.StackOptions{Lease: lt})
 	case "queue":
 		mode := ds.QueueNoLease
-		if *lease {
+		if c.lease {
 			mode = ds.QueueSingleLease
 		}
 		build = bench.QueueWorkload(mode)
 	case "pq":
 		kind := bench.PQFineLocking
-		if *lease {
+		if c.lease {
 			kind = bench.PQGlobalLeased
 		}
 		build = bench.PQWorkload(kind, 512)
 	case "counter":
 		kind := bench.CounterTTS
-		if *lease {
+		if c.lease {
 			kind = bench.CounterLeasedTTS
 		}
 		build = bench.CounterWorkload(kind)
@@ -90,7 +174,7 @@ func main() {
 		build = bench.MQWorkload(multiqueue.Options{LeaseTime: lt})
 	case "tl2":
 		mode := stm.NoLease
-		switch *multi {
+		switch c.multi {
 		case "hw":
 			mode = stm.HWMulti
 		case "sw":
@@ -100,7 +184,7 @@ func main() {
 		case "off":
 			mode = stm.NoLease
 		default:
-			fmt.Fprintf(os.Stderr, "leasesim: bad -multilease %q\n", *multi)
+			fmt.Fprintf(os.Stderr, "leasesim: bad -multilease %q\n", c.multi)
 			os.Exit(2)
 		}
 		build = bench.TL2Workload(mode, &aborts)
@@ -119,17 +203,17 @@ func main() {
 	case "lfhash":
 		build = bench.SetWorkload(bench.SetMichaelHash, lt, 1024, 512)
 	default:
-		fmt.Fprintf(os.Stderr, "leasesim: unknown -ds %q\n", *dsName)
+		fmt.Fprintf(os.Stderr, "leasesim: unknown -ds %q\n", c.ds)
 		os.Exit(2)
 	}
 
 	rec := telemetry.NewRecorder()
-	if *timeline != "" {
+	if c.timeline != "" {
 		rec.EnableTimeline(float64(cfg.ClockHz) / 1e6) // cycles per µs
 	}
 	var hooks []func(*machine.Machine)
-	if *trace > 0 {
-		left := *trace
+	if c.trace > 0 {
+		left := c.trace
 		hooks = append(hooks, func(m *machine.Machine) {
 			m.SetTracer(func(e machine.TraceEvent) {
 				if left > 0 {
@@ -139,11 +223,26 @@ func main() {
 			})
 		})
 	}
-	r := bench.ThroughputOpts(cfg, *threads, *warm, *cycles, build,
-		bench.Options{Recorder: rec, Samples: *samples, Hooks: hooks})
+	r := bench.ThroughputOpts(cfg, c.threads, c.warm, c.cycles, build,
+		bench.Options{Recorder: rec, Samples: c.samples, Hooks: hooks, Invariants: c.invariants})
 
-	if *timeline != "" {
-		f, err := os.Create(*timeline)
+	if r.Err != nil {
+		fmt.Fprintf(os.Stderr, "leasesim: ds=%s threads=%d seed=%d FAILED (%s): %s\n",
+			c.ds, c.threads, c.seed, r.Err.Reason, r.Err.Detail)
+		if r.Err.Dump != nil {
+			fmt.Fprint(os.Stderr, r.Err.Dump)
+		}
+		if c.jsonOut {
+			rep := bench.BuildReport(c.ds, c.threads, c.lease, cfg, c.warm, c.cycles, r, nil, 0)
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			enc.Encode(rep)
+		}
+		return false
+	}
+
+	if c.timeline != "" {
+		f, err := os.Create(c.timeline)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "leasesim: %v\n", err)
 			os.Exit(1)
@@ -159,20 +258,20 @@ func main() {
 		}
 	}
 
-	if *jsonOut {
-		rep := bench.BuildReport(*dsName, *threads, *lease, cfg, *warm, *cycles, r, rec, *hotlines)
+	if c.jsonOut {
+		rep := bench.BuildReport(c.ds, c.threads, c.lease, cfg, c.warm, c.cycles, r, rec, c.hotlines)
 		rep.Aborts = aborts
-		rep.TimelineFile = *timeline
+		rep.TimelineFile = c.timeline
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
 			fmt.Fprintf(os.Stderr, "leasesim: %v\n", err)
 			os.Exit(1)
 		}
-		return
+		return true
 	}
 
-	fmt.Printf("ds=%s threads=%d lease=%v window=%d cycles\n", *dsName, *threads, *lease, r.Cycles)
+	fmt.Printf("ds=%s threads=%d lease=%v window=%d cycles\n", c.ds, c.threads, c.lease, r.Cycles)
 	fmt.Printf("ops            %d\n", r.Ops)
 	fmt.Printf("throughput     %.3f Mops/s\n", r.MopsPerSec)
 	fmt.Printf("energy         %.3f nJ/op\n", r.NJPerOp)
@@ -196,11 +295,11 @@ func main() {
 	printDist("probe defer", r.ProbeDefer)
 	printDist("dir queue", r.DirQueue)
 
-	if *hotlines > 0 && rec.Lines.Len() > 0 {
-		fmt.Printf("\nhot lines (top %d of %d):\n", *hotlines, rec.Lines.Len())
+	if c.hotlines > 0 && rec.Lines.Len() > 0 {
+		fmt.Printf("\nhot lines (top %d of %d):\n", c.hotlines, rec.Lines.Len())
 		fmt.Printf("%-12s %10s %10s %8s %10s %8s %8s\n",
 			"line", "score", "msgs", "invals", "deferred", "leases", "maxdirq")
-		for _, h := range bench.HotLineRows(rec, *hotlines) {
+		for _, h := range bench.HotLineRows(rec, c.hotlines) {
 			fmt.Printf("%-12s %10d %10d %8d %10d %8d %8d\n",
 				h.Line, h.Score, h.Msgs, h.Invals, h.Deferred, h.Leases, h.MaxQueue)
 		}
@@ -215,10 +314,11 @@ func main() {
 		}
 	}
 
-	if *timeline != "" {
-		fmt.Printf("\ntimeline written to %s (open in chrome://tracing or ui.perfetto.dev)\n", *timeline)
+	if c.timeline != "" {
+		fmt.Printf("\ntimeline written to %s (open in chrome://tracing or ui.perfetto.dev)\n", c.timeline)
 	}
 
 	fmt.Println("\nwindow counters:")
 	fmt.Println(r.Window)
+	return true
 }

@@ -221,8 +221,12 @@ func runFig5Pagerank(w io.Writer, p Params) {
 		if n > 32 {
 			continue // the paper evaluates Pagerank up to 32 threads
 		}
-		baseCyc, _ := PagerankRun(cfgFor(n), n, 0, nodes, iters)
-		leaseCyc, _ := PagerankRun(cfgFor(n), n, LeaseTime, nodes, iters)
+		baseCyc, _, berr := PagerankRun(cfgFor(n), n, 0, nodes, iters)
+		leaseCyc, _, lerr := PagerankRun(cfgFor(n), n, LeaseTime, nodes, iters)
+		if berr != nil || lerr != nil {
+			fmt.Fprintf(w, "pagerank with %d threads FAILED: base=%v lease=%v\n", n, berr, lerr)
+			continue
+		}
 		t.Row(n, float64(baseCyc)/1e6, float64(leaseCyc)/1e6,
 			ratio(float64(baseCyc), float64(leaseCyc)))
 	}

@@ -38,6 +38,11 @@ type Report struct {
 	Series   []Sample     `json:"series,omitempty"`
 
 	TimelineFile string `json:"timeline_file,omitempty"`
+
+	// Error is set when the run failed (see Result.Err); the metric
+	// fields above are zero then. Omitted on success, so successful
+	// reports marshal byte-for-byte as before.
+	Error string `json:"error,omitempty"`
 }
 
 // Counters is machine.Stats with JSON-friendly names and messages broken
@@ -128,6 +133,9 @@ func BuildReport(ds string, threads int, lease bool, cfg machine.Config,
 	}
 	if rec != nil && hotK > 0 {
 		rep.HotLines = HotLineRows(rec, hotK)
+	}
+	if r.Err != nil {
+		rep.Error = r.Err.Error()
 	}
 	return rep
 }

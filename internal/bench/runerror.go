@@ -1,0 +1,30 @@
+package bench
+
+import (
+	"fmt"
+
+	"leaserelease/internal/machine"
+)
+
+// RunError is the typed failure of one benchmark run. Every way a
+// simulation can die — deadlock, livelock (engine watchdog), an escaping
+// panic, a protocol violation, a blown cycle budget, or invariant-checker
+// violations — is converted into a RunError carrying a structured machine
+// state dump, so a failed cell in a sweep is debuggable and the rest of
+// the sweep still completes.
+type RunError struct {
+	Threads int                `json:"threads"`
+	Cycle   uint64             `json:"cycle"`
+	Reason  string             `json:"reason"` // short classification: deadlock, panic, budget, invariant, ...
+	Cause   error              `json:"-"`
+	Detail  string             `json:"detail"` // Cause.Error(), stable for JSON
+	Dump    *machine.StateDump `json:"dump,omitempty"`
+}
+
+func (e *RunError) Error() string {
+	return fmt.Sprintf("bench: run with %d threads failed at cycle %d (%s): %s",
+		e.Threads, e.Cycle, e.Reason, e.Detail)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *RunError) Unwrap() error { return e.Cause }

@@ -5,9 +5,12 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 
+	"leaserelease/internal/invariant"
 	"leaserelease/internal/machine"
+	"leaserelease/internal/sim"
 	"leaserelease/internal/telemetry"
 )
 
@@ -50,6 +53,11 @@ type Result struct {
 	// Series holds the periodic time-series samples of windowed Stats
 	// deltas (Options.Samples sub-windows); nil when sampling is off.
 	Series []Sample
+
+	// Err is set when the run failed (deadlock, panic, protocol or
+	// invariant violation, blown cycle budget); the metric fields above
+	// are zero then. A sweep reports the failed cell and continues.
+	Err *RunError
 }
 
 // Options selects the optional observability features of a Throughput run.
@@ -64,6 +72,11 @@ type Options struct {
 	Samples int
 	// Hooks run on the freshly built machine before any thread spawns.
 	Hooks []func(*machine.Machine)
+	// Invariants attaches the runtime invariant checker (see the
+	// invariant package); any violation fails the run with a RunError
+	// carrying the diagnostic dump. With fault injection disabled the
+	// checker is a pure observer and does not change simulated timing.
+	Invariants bool
 }
 
 // Throughput runs a standard throughput benchmark: build the structure,
@@ -79,12 +92,48 @@ func Throughput(cfg machine.Config, threads int, warm, window uint64,
 // on the host side of the simulation (bus subscribers, local-clock reads),
 // so enabling it never changes simulated timing: for a given cfg.Seed the
 // measured window is identical with and without a Recorder.
+//
+// A failed run (deadlock, livelock, escaping panic, protocol or invariant
+// violation) never crashes the caller: it returns a Result whose Err
+// carries the classified cause and a machine state dump.
 func ThroughputOpts(cfg machine.Config, threads int, warm, window uint64,
 	build func(d *machine.Direct) OpFunc, o Options) Result {
 
-	m := machine.New(cfg)
+	r, err := throughputGuarded(cfg, threads, warm, window, build, o)
+	if err != nil {
+		var re *RunError
+		if !errors.As(err, &re) {
+			re = &RunError{Threads: threads, Reason: classify(err), Cause: err, Detail: err.Error()}
+		}
+		return Result{Threads: uint64(threads), Err: re}
+	}
+	return r
+}
+
+// throughputGuarded is the measurement body. Escaping panics (which the
+// sim kernel re-raises on this goroutine as *sim.PanicError with cycle,
+// proc, and event context) are recovered into RunErrors here.
+func throughputGuarded(cfg machine.Config, threads int, warm, window uint64,
+	build func(d *machine.Direct) OpFunc, o Options) (res Result, err error) {
+
+	var m *machine.Machine
+	defer func() {
+		if r := recover(); r != nil {
+			cause := toError(r)
+			err = newRunError(m, threads, cause)
+			if m != nil {
+				m.Stop()
+			}
+		}
+	}()
+
+	m = machine.New(cfg)
 	for _, h := range o.Hooks {
 		h(m)
+	}
+	var chk *invariant.Checker
+	if o.Invariants {
+		chk = invariant.Attach(m, invariant.Config{})
 	}
 	rec := o.Recorder
 	if rec != nil {
@@ -111,7 +160,15 @@ func ThroughputOpts(cfg machine.Config, threads int, warm, window uint64,
 			}
 		})
 	}
-	mustRun(m, warm)
+	step := func(until uint64) error {
+		if rerr := m.Run(until); rerr != nil {
+			return newRunError(m, threads, rerr)
+		}
+		return nil
+	}
+	if err := step(warm); err != nil {
+		return res, err
+	}
 	start := m.Stats()
 	startCounts := append([]uint64(nil), counts...)
 
@@ -124,13 +181,17 @@ func ThroughputOpts(cfg machine.Config, threads int, warm, window uint64,
 			if s == o.Samples-1 {
 				end = warm + window
 			}
-			mustRun(m, end)
+			if err := step(end); err != nil {
+				return res, err
+			}
 			snap, ops := m.Stats(), total(counts)
 			series = append(series, Sample{EndCycle: end, Ops: ops - prevOps, Stats: snap.Sub(prev)})
 			prev, prevOps = snap, ops
 		}
 	} else {
-		mustRun(m, warm+window)
+		if err := step(warm + window); err != nil {
+			return res, err
+		}
 	}
 	w := m.Stats().Sub(start)
 	var ops, minT, maxT uint64
@@ -149,6 +210,12 @@ func ThroughputOpts(cfg machine.Config, threads int, warm, window uint64,
 		rec.Finish(m.Now())
 	}
 	m.Stop()
+	if chk != nil {
+		chk.CheckNow()
+		if cerr := chk.Err(); cerr != nil {
+			return res, newRunError(m, threads, cerr)
+		}
+	}
 	r := summarize(m.Config(), threads, ops, w)
 	if maxT > 0 {
 		r.Fairness = float64(minT) / float64(maxT)
@@ -160,7 +227,7 @@ func ThroughputOpts(cfg machine.Config, threads int, warm, window uint64,
 		r.ProbeDefer = summaryOf(&rec.ProbeDefer)
 		r.DirQueue = summaryOf(&rec.DirQueue)
 	}
-	return r
+	return r, nil
 }
 
 func summaryOf(h *telemetry.Hist) *telemetry.Summary {
@@ -190,25 +257,91 @@ func summarize(cfg machine.Config, threads int, ops uint64, w machine.Stats) Res
 	return r
 }
 
-func mustRun(m *machine.Machine, until uint64) {
-	if err := m.Run(until); err != nil {
-		panic(fmt.Sprintf("bench: simulated deadlock: %v", err))
+// classify maps a failure cause to a short reason tag for RunError.
+func classify(err error) string {
+	var (
+		ie *invariant.Error
+		pv *machine.ProtocolViolationError
+		de *sim.DeadlockError
+		se *sim.StallError
+		pe *sim.PanicError
+	)
+	switch {
+	case errors.As(err, &ie):
+		return "invariant"
+	case errors.As(err, &pv):
+		return "protocol"
+	case errors.As(err, &de):
+		return "deadlock"
+	case errors.As(err, &se):
+		return "livelock"
+	case errors.As(err, &pe):
+		return "panic"
 	}
+	return "error"
 }
 
-// RunToCompletion runs a fixed-work program (e.g. Pagerank) and reports
-// the total cycles it took plus the stats.
-func RunToCompletion(cfg machine.Config, threads int,
-	build func(d *machine.Direct) func(tid int, c *machine.Ctx)) (uint64, machine.Stats) {
+func toError(r interface{}) error {
+	if err, ok := r.(error); ok {
+		return err
+	}
+	return fmt.Errorf("panic: %v", r)
+}
 
-	m := machine.New(cfg)
+// newRunError converts a failure cause into a RunError with a machine
+// state dump. Safe with m == nil (failure before construction).
+func newRunError(m *machine.Machine, threads int, cause error) *RunError {
+	re := &RunError{Threads: threads, Reason: classify(cause), Cause: cause, Detail: cause.Error()}
+	if m != nil {
+		re.Cycle = m.Now()
+		re.Dump = m.DumpState()
+	}
+	return re
+}
+
+// DefaultCycleBudget bounds RunToCompletion when the caller passes
+// budget 0: generous for every shipped experiment, but finite, so a
+// non-terminating workload becomes a reported failure instead of a hang.
+const DefaultCycleBudget uint64 = 500_000_000
+
+// RunToCompletion runs a fixed-work program (e.g. Pagerank) under a cycle
+// budget and reports the total cycles it took plus the stats. A run that
+// deadlocks, panics, or exhausts the budget returns a *RunError (the
+// cycles and stats reflect the state at failure).
+func RunToCompletion(cfg machine.Config, threads int, budget uint64,
+	build func(d *machine.Direct) func(tid int, c *machine.Ctx)) (cycles uint64, stats machine.Stats, err error) {
+
+	if budget == 0 {
+		budget = DefaultCycleBudget
+	}
+	var m *machine.Machine
+	defer func() {
+		if r := recover(); r != nil {
+			err = newRunError(m, threads, toError(r))
+			if m != nil {
+				cycles, stats = m.Now(), m.Stats()
+				m.Stop()
+			}
+		}
+	}()
+	m = machine.New(cfg)
 	body := build(m.Direct())
 	for i := 0; i < threads; i++ {
 		i := i
 		m.Spawn(0, func(c *machine.Ctx) { body(i, c) })
 	}
-	if err := m.Drain(); err != nil {
-		panic(fmt.Sprintf("bench: simulated deadlock: %v", err))
+	if rerr := m.Run(budget); rerr != nil {
+		return m.Now(), m.Stats(), newRunError(m, threads, rerr)
 	}
-	return m.Now(), m.Stats()
+	d := m.DumpState()
+	for _, c := range d.Cores {
+		if !c.Done {
+			re := &RunError{Threads: threads, Cycle: m.Now(), Reason: "budget",
+				Detail: fmt.Sprintf("cycle budget %d exhausted before completion", budget), Dump: d}
+			re.Cause = errors.New(re.Detail)
+			m.Stop()
+			return m.Now(), m.Stats(), re
+		}
+	}
+	return m.Now(), m.Stats(), nil
 }

@@ -447,10 +447,11 @@ func SnapshotWorkload(useLease bool, words int, attempts, snaps *uint64) func(d 
 	}
 }
 
-// PagerankRun runs the Figure 5 (right) application to completion and
-// returns total cycles.
-func PagerankRun(cfg machine.Config, threads int, leaseTime uint64, nodes, iters int) (uint64, machine.Stats) {
-	return RunToCompletion(cfg, threads, func(d *machine.Direct) func(int, *machine.Ctx) {
+// PagerankRun runs the Figure 5 (right) application to completion (under
+// the default cycle budget) and returns total cycles. A failed run
+// returns a *RunError with the state at failure.
+func PagerankRun(cfg machine.Config, threads int, leaseTime uint64, nodes, iters int) (uint64, machine.Stats, error) {
+	return RunToCompletion(cfg, threads, 0, func(d *machine.Direct) func(int, *machine.Ctx) {
 		pcfg := pagerank.DefaultConfig(threads)
 		pcfg.Nodes = nodes
 		pcfg.Iterations = iters

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"leaserelease/internal/cache"
+	"leaserelease/internal/faults"
 	"leaserelease/internal/mem"
 	"leaserelease/internal/sim"
 	"leaserelease/internal/telemetry"
@@ -177,6 +178,13 @@ type Directory struct {
 	// (telemetry.CatDirQueue). A nil bus costs one predictable branch
 	// per message.
 	Bus *telemetry.Bus
+
+	// Faults, when set, injects protocol-legal perturbations: extra
+	// per-hop message latency and pre-service directory stalls. Per-line
+	// FIFO order is preserved — a stall delays when the head of a line's
+	// queue enters service, never which request that is. A nil injector
+	// is inert.
+	Faults *faults.Injector
 }
 
 // NewDirectory builds a directory over the given engine and environment.
@@ -210,7 +218,7 @@ func (d *Directory) countMsg(l mem.Line, kind MsgKind, n int) {
 func (d *Directory) Submit(req *Request) {
 	req.Issued = d.eng.Now()
 	d.countMsg(req.Line, MsgRequest, 1)
-	d.eng.After(d.t.Net+d.jitter(), func() { d.arrive(req) })
+	d.eng.After(d.t.Net+d.jitter()+d.Faults.MsgDelay(), func() { d.arrive(req) })
 }
 
 // jitter draws 0..NetJitter extra cycles from the directory's RNG.
@@ -233,8 +241,20 @@ func (d *Directory) arrive(req *Request) {
 	}
 	d.Bus.Emit(telemetry.CatDirQueue, req.Core, 0, req.Line, uint64(occ))
 	if !e.busy {
-		d.service(req.Line)
+		d.serviceMaybeStalled(req.Line)
 	}
+}
+
+// serviceMaybeStalled starts servicing a line's queue head, optionally
+// after an injected directory stall. The stall delays only *when* the head
+// enters service; service itself re-checks the busy bit, so a racing
+// second schedule is harmless and per-line FIFO order is preserved.
+func (d *Directory) serviceMaybeStalled(l mem.Line) {
+	if st := d.Faults.DirStall(); st > 0 {
+		d.eng.After(st, func() { d.service(l) })
+		return
+	}
+	d.service(l)
 }
 
 // service begins processing the head of the line's queue. Runs in engine
@@ -260,7 +280,7 @@ func (d *Directory) service(l mem.Line) {
 		}
 		d.countMsg(l, MsgForward, 1)
 		owner := e.owner
-		d.eng.After(d.t.L2Tag+d.t.Net, func() { d.probeArrive(owner, req) })
+		d.eng.After(d.t.L2Tag+d.t.Net+d.Faults.MsgDelay(), func() { d.probeArrive(owner, req) })
 
 	case e.state == dirS && req.Excl:
 		// Invalidate all other sharers, then grant Modified.
@@ -284,7 +304,7 @@ func (d *Directory) service(l mem.Line) {
 		}
 		d.env.CountL2()
 		d.countMsg(l, MsgReply, 1)
-		d.eng.After(dataReady+d.t.Net, func() { d.complete(req) })
+		d.eng.After(dataReady+d.t.Net+d.Faults.MsgDelay(), func() { d.complete(req) })
 
 	default:
 		// Uncached fill, a read of a Shared line, or a request by the
@@ -310,7 +330,7 @@ func (d *Directory) service(l mem.Line) {
 			req.newSharers = e.sharers | bit(req.Core)
 		}
 		d.countMsg(l, MsgReply, 1)
-		d.eng.After(lat+d.t.Net, func() { d.complete(req) })
+		d.eng.After(lat+d.t.Net+d.Faults.MsgDelay(), func() { d.complete(req) })
 	}
 }
 
@@ -333,7 +353,7 @@ func (d *Directory) ownerDowngraded(req *Request) {
 	// ownership-transfer ack to the directory.
 	d.countMsg(req.Line, MsgReply, 1)
 	d.countMsg(req.Line, MsgAck, 1)
-	d.eng.After(d.t.Inval+d.t.Net, func() { d.complete(req) })
+	d.eng.After(d.t.Inval+d.t.Net+d.Faults.MsgDelay(), func() { d.complete(req) })
 }
 
 // complete commits the directory transition, installs the line at the
@@ -353,7 +373,7 @@ func (d *Directory) complete(req *Request) {
 	e.busy = false
 	d.env.Complete(req, st)
 	if len(e.queue) > 0 {
-		d.service(req.Line)
+		d.serviceMaybeStalled(req.Line)
 	}
 }
 
@@ -392,6 +412,25 @@ func (d *Directory) State(l mem.Line) (state string, owner int, sharers uint64) 
 		return "M", e.owner, e.sharers
 	}
 	return "I", 0, 0
+}
+
+// LineInfo reports the full directory view of one line, including whether
+// it is mid-transaction (busy, or with queued requests). Runtime checkers
+// use it to validate a single line per event instead of scanning the
+// whole directory.
+func (d *Directory) LineInfo(l mem.Line) (state string, owner int, sharers uint64, busy bool) {
+	e, ok := d.entries[l]
+	if !ok {
+		return "I", 0, 0, false
+	}
+	st := "I"
+	switch e.state {
+	case dirS:
+		st = "S"
+	case dirM:
+		st = "M"
+	}
+	return st, e.owner, e.sharers, e.busy || len(e.queue) > 0
 }
 
 // ForEachLine visits every line the directory has ever tracked, reporting

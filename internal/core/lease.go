@@ -102,6 +102,15 @@ func (t *Table) Len() int { return len(t.fifo) }
 // Find returns the entry for line l, or nil.
 func (t *Table) Find(l mem.Line) *Entry { return t.byLine[l] }
 
+// ForEach visits every live entry in FIFO (insertion) order. Callers must
+// not mutate the table during iteration; checkers and diagnostics use this
+// to validate bounds and FIFO ordering without copying.
+func (t *Table) ForEach(fn func(e *Entry)) {
+	for _, e := range t.fifo {
+		fn(e)
+	}
+}
+
 // Insert creates a lease entry for line l with the requested duration
 // (clamped to MaxLeaseTime). If l is already leased, Insert does nothing
 // and returns inserted=false — leases are never extended. If the table is

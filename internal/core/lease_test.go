@@ -60,6 +60,45 @@ func TestFIFOEvictionWhenFull(t *testing.T) {
 	}
 }
 
+// TestFIFOEvictionExactBoundary pins down the off-by-one: filling the
+// table to exactly MaxNumLeases evicts nothing; only the entry after that
+// evicts, and it evicts precisely the oldest while the rest keep FIFO
+// (generation) order.
+func TestFIFOEvictionExactBoundary(t *testing.T) {
+	const max = 8
+	tb := newT(max)
+	for i := 1; i <= max; i++ {
+		ev, ins := tb.Insert(mem.Line(i), 10, false)
+		if !ins || ev != nil {
+			t.Fatalf("insert %d of %d: (ev=%v, ins=%v), want no eviction yet", i, max, ev, ins)
+		}
+	}
+	if tb.Len() != max {
+		t.Fatalf("Len = %d, want exactly %d", tb.Len(), max)
+	}
+	ev, ins := tb.Insert(mem.Line(max+1), 10, false)
+	if !ins || ev == nil || ev.Line != 1 {
+		t.Fatalf("insert %d: evicted %v, want oldest (line 1)", max+1, ev)
+	}
+	if tb.Len() != max {
+		t.Fatalf("Len after boundary eviction = %d, want %d", tb.Len(), max)
+	}
+	// Survivors are 2..max+1 in insertion order with strictly increasing
+	// generations (the invariant checker's lease-fifo rule).
+	want := mem.Line(2)
+	lastGen := uint64(0)
+	tb.ForEach(func(e *Entry) {
+		if e.Line != want {
+			t.Fatalf("FIFO order broken: got line %d, want %d", e.Line, want)
+		}
+		if e.Gen <= lastGen {
+			t.Fatalf("generations not strictly increasing: %d after %d", e.Gen, lastGen)
+		}
+		lastGen = e.Gen
+		want++
+	})
+}
+
 func TestStartSetsDeadline(t *testing.T) {
 	tb := newT(4)
 	tb.Insert(1, 40, false)

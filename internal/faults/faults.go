@@ -1,0 +1,162 @@
+// Package faults is the simulator's fault-injection layer: deterministic,
+// protocol-legal perturbations of the simulated hardware, in the spirit of
+// the perturbation-based validation used for hardware coherence protocols
+// (e.g. Tardis's model-checked validation runs).
+//
+// Every perturbation stays within what the architecture already permits —
+// message latencies only grow, lease durations only shrink, the directory
+// only delays (never reorders) its per-line FIFO queues, and capacity
+// pressure only reduces the L1's effective associativity. A correct
+// simulator must therefore survive any fault schedule with every invariant
+// intact; the invariant package checks exactly that.
+//
+// All draws come from one splitmix64 stream seeded from the simulation
+// seed, and the engine is sequential, so a faulty run is bit-for-bit
+// reproducible from (Config, seed). With Enabled == false no draw is ever
+// made and simulated timing is byte-for-byte identical to a build without
+// this package.
+package faults
+
+import "leaserelease/internal/sim"
+
+// Config selects which faults to inject and how hard. The zero value
+// injects nothing.
+type Config struct {
+	// Enabled master-switches the injector; when false no other field is
+	// consulted and no RNG draw happens.
+	Enabled bool
+
+	// Seed is mixed with the machine seed to derive the injection stream,
+	// so the same workload seed can be run under many fault schedules.
+	Seed uint64
+
+	// MsgJitter adds a uniform 0..MsgJitter extra cycles to every
+	// coherence message hop (requests, probe forwards, grants), on top of
+	// the protocol's own NetJitter.
+	MsgJitter sim.Time
+
+	// DirStallPct is the percent chance (0..100) that the directory stalls
+	// before servicing a line's next queued request; DirStallCycles is the
+	// stall length. FIFO order per line is preserved.
+	DirStallPct    int
+	DirStallCycles sim.Time
+
+	// LeaseCutPct is the percent chance (0..100) that a started lease's
+	// expiry timer fires early — an involuntary break before the full
+	// duration. The cut point is uniform in (0, duration). Shorter leases
+	// are always legal (MAX_LEASE_TIME is an upper bound).
+	LeaseCutPct int
+
+	// CapacityWays, when positive and below the configured associativity,
+	// caps the L1's ways (shrinking capacity proportionally) to force
+	// eviction and fully-pinned-set pressure on the lease machinery.
+	CapacityWays int
+}
+
+// DefaultConfig returns a moderate all-faults-on schedule used by the
+// chaos-soak tests and `leasesim -faults`.
+func DefaultConfig() Config {
+	return Config{
+		Enabled:        true,
+		MsgJitter:      8,
+		DirStallPct:    5,
+		DirStallCycles: 40,
+		LeaseCutPct:    10,
+		CapacityWays:   2,
+	}
+}
+
+// Stats counts injected faults; exported fields so harnesses can report
+// how much perturbation a run actually received.
+type Stats struct {
+	MsgDelays      uint64 `json:"msg_delays"`
+	MsgDelayCycles uint64 `json:"msg_delay_cycles"`
+	DirStalls      uint64 `json:"dir_stalls"`
+	DirStallCycles uint64 `json:"dir_stall_cycles"`
+	LeaseCuts      uint64 `json:"lease_cuts"`
+	LeaseCutCycles uint64 `json:"lease_cut_cycles"`
+}
+
+// Injector draws fault decisions from a deterministic stream. A nil
+// *Injector is valid and inert: every method returns the no-fault value,
+// so emit sites need no separate enabled checks.
+type Injector struct {
+	cfg   Config
+	rng   sim.RNG
+	stats Stats
+}
+
+// New builds an injector for cfg, mixing machineSeed into the stream.
+// It returns nil when cfg.Enabled is false — the nil injector is the
+// zero-overhead disabled configuration.
+func New(cfg Config, machineSeed uint64) *Injector {
+	if !cfg.Enabled {
+		return nil
+	}
+	return &Injector{cfg: cfg, rng: sim.NewRNG((machineSeed*0x9E3779B1 + cfg.Seed) ^ 0xFA017FA01)}
+}
+
+// Stats returns a snapshot of the injection counters (zero for nil).
+func (i *Injector) Stats() Stats {
+	if i == nil {
+		return Stats{}
+	}
+	return i.stats
+}
+
+// pct draws a percent check: true with probability p/100.
+func (i *Injector) pct(p int) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 100 {
+		return true
+	}
+	return i.rng.Uint64n(100) < uint64(p)
+}
+
+// MsgDelay returns extra cycles to add to one coherence message hop.
+func (i *Injector) MsgDelay() sim.Time {
+	if i == nil || i.cfg.MsgJitter == 0 {
+		return 0
+	}
+	d := i.rng.Uint64n(uint64(i.cfg.MsgJitter) + 1)
+	if d > 0 {
+		i.stats.MsgDelays++
+		i.stats.MsgDelayCycles += d
+	}
+	return d
+}
+
+// DirStall returns a stall, in cycles, to insert before the directory
+// services a line's next request (0 = no stall).
+func (i *Injector) DirStall() sim.Time {
+	if i == nil || i.cfg.DirStallCycles == 0 || !i.pct(i.cfg.DirStallPct) {
+		return 0
+	}
+	i.stats.DirStalls++
+	i.stats.DirStallCycles += uint64(i.cfg.DirStallCycles)
+	return i.cfg.DirStallCycles
+}
+
+// LeaseCut returns how many cycles to cut from a started lease of the
+// given duration (0 = run to the full deadline). The cut is uniform in
+// [1, duration-1] so a cut lease still runs for at least one cycle.
+func (i *Injector) LeaseCut(duration uint64) uint64 {
+	if i == nil || duration < 2 || !i.pct(i.cfg.LeaseCutPct) {
+		return 0
+	}
+	cut := 1 + i.rng.Uint64n(duration-1)
+	i.stats.LeaseCuts++
+	i.stats.LeaseCutCycles += cut
+	return cut
+}
+
+// CapWays returns the effective L1 associativity under capacity pressure:
+// min(configured, CapacityWays) when the fault is on, ways otherwise.
+func (c Config) CapWays(ways int) int {
+	if !c.Enabled || c.CapacityWays <= 0 || c.CapacityWays >= ways {
+		return ways
+	}
+	return c.CapacityWays
+}

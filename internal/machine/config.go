@@ -4,6 +4,7 @@ import (
 	"leaserelease/internal/cache"
 	"leaserelease/internal/coherence"
 	"leaserelease/internal/core"
+	"leaserelease/internal/faults"
 )
 
 // Config describes a simulated machine. The defaults reproduce the paper's
@@ -59,7 +60,14 @@ type Config struct {
 	// Energy is the event-count energy model.
 	Energy EnergyModel
 
-	// Seed derives each core's deterministic RNG stream.
+	// Faults selects deterministic, protocol-legal fault injection
+	// (latency perturbation, early lease expiry, directory stalls, L1
+	// capacity pressure). The zero value injects nothing and adds no
+	// overhead; see the faults package.
+	Faults faults.Config
+
+	// Seed derives each core's deterministic RNG stream (and, with
+	// Faults.Seed, the fault-injection stream).
 	Seed uint64
 }
 

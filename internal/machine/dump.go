@@ -1,0 +1,199 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"leaserelease/internal/cache"
+	"leaserelease/internal/core"
+	"leaserelease/internal/faults"
+	"leaserelease/internal/mem"
+	"leaserelease/internal/telemetry"
+)
+
+// StateDump is a structured snapshot of the simulated machine, produced
+// when a run fails (deadlock, protocol violation, invariant violation, or
+// an escaping panic) so the failure is debuggable without re-running under
+// a tracer. It marshals to JSON and renders as text via String.
+type StateDump struct {
+	Cycle      uint64        `json:"cycle"`
+	EventCount uint64        `json:"event_count"`
+	Pending    int           `json:"pending_events"`
+	Seed       uint64        `json:"seed"`
+	Cores      []CoreDump    `json:"cores"`
+	DirLines   []DirLineDump `json:"dir_lines"`
+	Faults     faults.Stats  `json:"fault_stats"`
+	Events     []EventDump   `json:"last_events,omitempty"`
+}
+
+// CoreDump is one core's state: scheduling status and lease table.
+type CoreDump struct {
+	ID          int         `json:"id"`
+	Done        bool        `json:"done"`
+	Blocked     bool        `json:"blocked"`
+	BlockReason string      `json:"block_reason,omitempty"`
+	BlockSince  uint64      `json:"block_since,omitempty"`
+	Leases      []LeaseDump `json:"leases,omitempty"`
+}
+
+// LeaseDump is one lease-table entry.
+type LeaseDump struct {
+	Line     uint64 `json:"line"`
+	Duration uint64 `json:"duration"`
+	Started  bool   `json:"started"`
+	Deadline uint64 `json:"deadline,omitempty"`
+	InGroup  bool   `json:"in_group,omitempty"`
+	HasProbe bool   `json:"has_probe,omitempty"`
+	Pinned   bool   `json:"pinned"`
+}
+
+// DirLineDump is the directory's view of one active line (lines that are
+// Invalid with no queued work are omitted).
+type DirLineDump struct {
+	Line     uint64 `json:"line"`
+	State    string `json:"state"`
+	Owner    int    `json:"owner,omitempty"`
+	Sharers  uint64 `json:"sharers,omitempty"`
+	Busy     bool   `json:"busy,omitempty"`
+	QueueLen int    `json:"queue_len,omitempty"`
+}
+
+// EventDump is one telemetry event in dump form (stringly typed so the
+// JSON is readable without the numbering tables).
+type EventDump struct {
+	Time uint64 `json:"t"`
+	Core int    `json:"core"`
+	Cat  string `json:"cat"`
+	Kind uint8  `json:"kind"`
+	Line uint64 `json:"line"`
+	Val  uint64 `json:"val,omitempty"`
+}
+
+// DumpEvents converts telemetry events (e.g. an invariant checker's
+// history ring) to dump form.
+func DumpEvents(evs []telemetry.Event) []EventDump {
+	out := make([]EventDump, 0, len(evs))
+	for _, e := range evs {
+		v := e.Val
+		if v == telemetry.NoVal {
+			v = 0
+		}
+		out = append(out, EventDump{Time: e.Time, Core: e.Core,
+			Cat: e.Cat.String(), Kind: e.Kind, Line: uint64(e.Line), Val: v})
+	}
+	return out
+}
+
+// DumpState snapshots the machine for diagnostics. It is safe to call at
+// any point the engine is paused (between events, or after Run returns).
+func (m *Machine) DumpState() *StateDump {
+	d := &StateDump{
+		Cycle:      m.eng.Now(),
+		EventCount: m.eng.EventCount,
+		Pending:    m.eng.Pending(),
+		Seed:       m.cfg.Seed,
+		Faults:     m.faults.Stats(),
+	}
+	for _, cs := range m.cores {
+		cd := CoreDump{ID: cs.id}
+		if cs.proc != nil {
+			blocked, reason, since, done := cs.proc.Status()
+			cd.Blocked, cd.BlockReason, cd.BlockSince, cd.Done = blocked, reason, since, done
+		}
+		cs.leases.ForEach(func(e *core.Entry) {
+			cd.Leases = append(cd.Leases, LeaseDump{
+				Line: uint64(e.Line), Duration: e.Duration, Started: e.Started,
+				Deadline: e.Deadline, InGroup: e.InGroup, HasProbe: e.HasProbe(),
+				Pinned: cs.l1.Pinned(e.Line),
+			})
+		})
+		d.Cores = append(d.Cores, cd)
+	}
+	m.dir.ForEachLine(func(l mem.Line, state string, owner int, sharers uint64, busy bool) {
+		q := m.dir.QueueLen(l)
+		if state == "I" && !busy && q == 0 {
+			return
+		}
+		d.DirLines = append(d.DirLines, DirLineDump{
+			Line: uint64(l), State: state, Owner: owner, Sharers: sharers,
+			Busy: busy, QueueLen: q,
+		})
+	})
+	sort.Slice(d.DirLines, func(i, j int) bool { return d.DirLines[i].Line < d.DirLines[j].Line })
+	return d
+}
+
+// String renders the dump as an indented text report.
+func (d *StateDump) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "machine state at cycle %d (seed %d, %d events executed, %d pending)\n",
+		d.Cycle, d.Seed, d.EventCount, d.Pending)
+	for _, c := range d.Cores {
+		status := "running"
+		switch {
+		case c.Done:
+			status = "done"
+		case c.Blocked:
+			status = fmt.Sprintf("blocked: %s (since cycle %d)", c.BlockReason, c.BlockSince)
+		}
+		fmt.Fprintf(&b, "  core %2d: %s\n", c.ID, status)
+		for _, l := range c.Leases {
+			state := "pending"
+			if l.Started {
+				state = fmt.Sprintf("started, deadline %d", l.Deadline)
+			}
+			extras := ""
+			if l.InGroup {
+				extras += " group"
+			}
+			if l.HasProbe {
+				extras += " +probe"
+			}
+			if l.Pinned {
+				extras += " pinned"
+			}
+			fmt.Fprintf(&b, "    lease line %#x dur %d (%s)%s\n", l.Line, l.Duration, state, extras)
+		}
+	}
+	for _, l := range d.DirLines {
+		fmt.Fprintf(&b, "  dir line %#x: %s owner %d sharers %#x busy=%v queue=%d\n",
+			l.Line, l.State, l.Owner, l.Sharers, l.Busy, l.QueueLen)
+	}
+	if f := (faults.Stats{}); d.Faults != f {
+		fmt.Fprintf(&b, "  faults injected: %+v\n", d.Faults)
+	}
+	if len(d.Events) > 0 {
+		fmt.Fprintf(&b, "  last %d telemetry events:\n", len(d.Events))
+		for _, e := range d.Events {
+			fmt.Fprintf(&b, "    [%10d] core %2d %-9s kind %d line %#x val %d\n",
+				e.Time, e.Core, e.Cat, e.Kind, e.Line, e.Val)
+		}
+	}
+	return b.String()
+}
+
+// ---- diagnostic accessors used by the invariant checker and tests ----
+
+// NumCores returns the machine's core count.
+func (m *Machine) NumCores() int { return len(m.cores) }
+
+// ForEachLease visits core c's lease table in FIFO (insertion) order.
+// Read-only: callers must not mutate entries.
+func (m *Machine) ForEachLease(c int, fn func(e *core.Entry)) {
+	m.cores[c].leases.ForEach(fn)
+}
+
+// LeaseCount returns the number of live leases on core c.
+func (m *Machine) LeaseCount(c int) int { return m.cores[c].leases.Len() }
+
+// L1 exposes core c's private cache for tests and diagnostics (e.g. the
+// invariant mutation tests corrupt it deliberately).
+func (m *Machine) L1(c int) *cache.Cache { return m.cores[c].l1 }
+
+// FaultStats reports how many faults the injector delivered (zero when
+// fault injection is disabled).
+func (m *Machine) FaultStats() faults.Stats { return m.faults.Stats() }
+
+// BlockedProcs describes every currently blocked simulated thread.
+func (m *Machine) BlockedProcs() []string { return m.eng.Blocked() }

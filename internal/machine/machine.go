@@ -17,6 +17,7 @@ import (
 	"leaserelease/internal/cache"
 	"leaserelease/internal/coherence"
 	"leaserelease/internal/core"
+	"leaserelease/internal/faults"
 	"leaserelease/internal/mem"
 	"leaserelease/internal/sim"
 	"leaserelease/internal/telemetry"
@@ -33,7 +34,26 @@ type Machine struct {
 
 	stats   Stats // machine-level counters (caches keep their own)
 	spawned int
-	bus     *telemetry.Bus // nil until Telemetry() — telemetry disabled
+	bus     *telemetry.Bus   // nil until Telemetry() — telemetry disabled
+	faults  *faults.Injector // nil unless cfg.Faults.Enabled
+}
+
+// ProtocolViolationError is the panic value raised when simulated hardware
+// state contradicts a protocol invariant (e.g. Proposition 1's single
+// queued probe, or a pinned set with an empty lease table). It indicates a
+// simulator bug — not a recoverable simulation condition — but carrying a
+// typed value lets harnesses recover it into a structured diagnostic
+// instead of dying on a bare string.
+type ProtocolViolationError struct {
+	Rule   string   // short invariant name
+	Core   int      // core involved, or -1
+	Line   mem.Line // line involved, or 0
+	Detail string
+}
+
+func (e *ProtocolViolationError) Error() string {
+	return fmt.Sprintf("machine: protocol violation [%s] core %d line %#x: %s",
+		e.Rule, e.Core, uint64(e.Line), e.Detail)
 }
 
 type coreState struct {
@@ -54,13 +74,22 @@ func New(cfg Config) *Machine {
 		eng:   sim.NewEngine(),
 		alloc: mem.NewAllocator(),
 	}
+	m.faults = faults.New(cfg.Faults, cfg.Seed)
 	m.dir = coherence.NewDirectory(m.eng, (*dirEnv)(m), cfg.Timing)
 	m.dir.MESI = cfg.MESI
+	m.dir.Faults = m.faults
+	l1cfg := cfg.L1
+	if ways := cfg.Faults.CapWays(l1cfg.Ways); ways != l1cfg.Ways {
+		// Capacity pressure: shrink associativity (and size with it, so
+		// the set count — and thus line-to-set mapping — is unchanged).
+		l1cfg.SizeBytes = l1cfg.SizeBytes / l1cfg.Ways * ways
+		l1cfg.Ways = ways
+	}
 	m.cores = make([]*coreState, cfg.Cores)
 	for i := range m.cores {
 		m.cores[i] = &coreState{
 			id:     i,
-			l1:     cache.New(cfg.L1),
+			l1:     cache.New(l1cfg),
 			leases: core.NewTable(cfg.Lease),
 			pred:   newLeasePredictor(cfg.Predictor),
 		}
@@ -134,31 +163,49 @@ func (m *Machine) VerifyCoherence() error {
 		if err != nil || busy {
 			return
 		}
-		for _, c := range m.cores {
-			st := c.l1.State(l)
-			switch state {
-			case "M":
-				if st == cache.Modified && c.id != owner {
-					err = fmt.Errorf("line %#x: dir owner %d but core %d holds M", uint64(l), owner, c.id)
-				}
-				if st == cache.Shared {
-					err = fmt.Errorf("line %#x: dir M but core %d holds S", uint64(l), c.id)
-				}
-			case "S":
-				if st == cache.Modified {
-					err = fmt.Errorf("line %#x: dir S but core %d holds M", uint64(l), c.id)
-				}
-				if st == cache.Shared && sharers&(1<<uint(c.id)) == 0 {
-					err = fmt.Errorf("line %#x: core %d holds S but is not a recorded sharer", uint64(l), c.id)
-				}
-			case "I":
-				if st != cache.Invalid {
-					err = fmt.Errorf("line %#x: dir I but core %d holds %v", uint64(l), c.id, st)
-				}
-			}
-		}
+		err = m.verifyLine(l, state, owner, sharers)
 	})
 	return err
+}
+
+// VerifyLine cross-checks one line's committed directory state against
+// every core's L1 state; a line mid-transaction is skipped (nil). The
+// runtime invariant checker calls this on every event touching the line,
+// which is how state corruption (e.g. a second writer) is caught within
+// one event of its introduction.
+func (m *Machine) VerifyLine(l mem.Line) error {
+	state, owner, sharers, busy := m.dir.LineInfo(l)
+	if busy {
+		return nil
+	}
+	return m.verifyLine(l, state, owner, sharers)
+}
+
+func (m *Machine) verifyLine(l mem.Line, state string, owner int, sharers uint64) error {
+	for _, c := range m.cores {
+		st := c.l1.State(l)
+		switch state {
+		case "M":
+			if st == cache.Modified && c.id != owner {
+				return fmt.Errorf("line %#x: dir owner %d but core %d holds M", uint64(l), owner, c.id)
+			}
+			if st == cache.Shared {
+				return fmt.Errorf("line %#x: dir M but core %d holds S", uint64(l), c.id)
+			}
+		case "S":
+			if st == cache.Modified {
+				return fmt.Errorf("line %#x: dir S but core %d holds M", uint64(l), c.id)
+			}
+			if st == cache.Shared && sharers&(1<<uint(c.id)) == 0 {
+				return fmt.Errorf("line %#x: core %d holds S but is not a recorded sharer", uint64(l), c.id)
+			}
+		case "I":
+			if st != cache.Invalid {
+				return fmt.Errorf("line %#x: dir I but core %d holds %v", uint64(l), c.id, st)
+			}
+		}
+	}
+	return nil
 }
 
 // Peek reads a word directly from the backing store (setup/verification
@@ -202,10 +249,16 @@ func (m *Machine) serveDeferred(cs *coreState, e *core.Entry) {
 }
 
 // scheduleExpiry arms the involuntary-release timer for a started lease.
-// Cancellation is lazy: the timer checks the entry generation.
+// Cancellation is lazy: the timer checks the entry generation. Fault
+// injection may pull the timer earlier — an involuntary break before the
+// full duration, always legal since MAX_LEASE_TIME is only an upper bound.
 func (m *Machine) scheduleExpiry(cs *coreState, e *core.Entry) {
 	line, gen := e.Line, e.Gen
-	m.eng.At(e.Deadline, func() {
+	at := e.Deadline
+	if cut := m.faults.LeaseCut(e.Duration); cut > 0 {
+		at -= cut
+	}
+	m.eng.At(at, func() {
 		x := cs.leases.RemoveIfGen(line, gen)
 		if x == nil {
 			return // released voluntarily (or evicted) in the meantime
@@ -237,7 +290,8 @@ func (m *Machine) installLine(cs *coreState, l mem.Line, st cache.State) {
 		}
 		e := cs.leases.RemoveOldest()
 		if e == nil {
-			panic("machine: L1 set fully pinned but lease table empty")
+			panic(&ProtocolViolationError{Rule: "pinned-set", Core: cs.id, Line: l,
+				Detail: "L1 set fully pinned but lease table empty"})
 		}
 		m.stats.ForcedReleases++
 		m.traceVal(cs.id, TraceForced, e.Line, leaseHold(e, m.eng.Now()))
@@ -277,7 +331,8 @@ func (d *dirEnv) DeliverProbe(owner int, req *coherence.Request) bool {
 			m.traceVal(owner, TraceBroken, req.Line, leaseHold(e, m.eng.Now()))
 			cs.l1.Unpin(req.Line)
 			if e.HasProbe() {
-				panic("machine: broken lease already had a deferred probe (violates Proposition 1)")
+				panic(&ProtocolViolationError{Rule: "proposition-1", Core: owner, Line: req.Line,
+					Detail: "broken lease already had a deferred probe"})
 			}
 		} else {
 			cs.leases.QueueProbe(req.Line, req)

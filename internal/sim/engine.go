@@ -59,13 +59,32 @@ type Engine struct {
 	// times stay queued).
 	stopAt Time
 
+	// fatal holds a proc goroutine's wrapped panic until the engine
+	// goroutine can re-raise it (see Proc and PanicError); curSeq is the
+	// sequence number of the event currently executing.
+	fatal  *PanicError
+	curSeq uint64
+
 	// EventCount is the total number of events executed so far.
 	EventCount uint64
+
+	// StallLimit is the no-progress watchdog: the maximum number of
+	// events the engine will execute at a single cycle before declaring a
+	// livelock (a zero-delay event loop never advances time, so a plain
+	// deadlock check would spin forever). Legal simulations execute at
+	// most a few events per core per cycle; the default is orders of
+	// magnitude above that.
+	StallLimit uint64
+
+	stallEvents uint64 // events executed at the current cycle
 }
+
+// DefaultStallLimit is the default per-cycle event watchdog threshold.
+const DefaultStallLimit = 1 << 20
 
 // NewEngine returns an empty engine at time 0.
 func NewEngine() *Engine {
-	return &Engine{stopAt: MaxTime}
+	return &Engine{stopAt: MaxTime, StallLimit: DefaultStallLimit}
 }
 
 // Now returns the current simulated time.
@@ -96,10 +115,28 @@ func (d *DeadlockError) Error() string {
 		d.Time, strings.Join(d.Blocked, "\n  "))
 }
 
+// StallError reports a livelock: the engine executed StallLimit events
+// without simulated time advancing (e.g. a zero-delay event loop).
+type StallError struct {
+	Time   Time
+	Events uint64 // events executed at Time before the watchdog fired
+}
+
+func (s *StallError) Error() string {
+	return fmt.Sprintf("sim: no progress — %d events executed at cycle %d without time advancing",
+		s.Events, s.Time)
+}
+
 // Run executes events in order until either the event queue drains or
 // simulated time reaches until. It returns a *DeadlockError if the queue
 // drains while some procs remain blocked (a genuine simulated deadlock),
-// and nil otherwise.
+// a *StallError if the StallLimit watchdog detects a livelock, and nil
+// otherwise.
+//
+// Any panic escaping simulation code — an event callback or a proc
+// goroutine — is re-raised out of Run on the caller's goroutine as a
+// *PanicError carrying the simulated cycle, event sequence number, and
+// proc id, so a harness can recover it with full sim context.
 func (e *Engine) Run(until Time) error {
 	e.stopAt = until
 	for len(e.events) > 0 {
@@ -108,9 +145,16 @@ func (e *Engine) Run(until Time) error {
 			return nil
 		}
 		ev := heap.Pop(&e.events).(event)
+		if ev.at > e.now {
+			e.stallEvents = 0
+		}
 		e.now = ev.at
 		e.EventCount++
-		ev.fn()
+		e.stallEvents++
+		if e.StallLimit > 0 && e.stallEvents > e.StallLimit {
+			return &StallError{Time: e.now, Events: e.stallEvents}
+		}
+		e.exec(ev)
 	}
 	var blocked []string
 	for _, p := range e.procs {
@@ -124,5 +168,36 @@ func (e *Engine) Run(until Time) error {
 	return nil
 }
 
+// exec runs one event, wrapping any escaping panic in a *PanicError so it
+// reaches Run's caller with sim context attached.
+func (e *Engine) exec(ev event) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pe, ok := r.(*PanicError); ok {
+				panic(pe) // already wrapped (proc-side or nested event)
+			}
+			panic(&PanicError{Cycle: e.now, EventSeq: ev.seq, ProcID: -1,
+				Value: r, Stack: stack()})
+		}
+	}()
+	e.curSeq = ev.seq
+	ev.fn()
+}
+
 // Drain runs until the event queue is empty (no time bound).
 func (e *Engine) Drain() error { return e.Run(MaxTime) }
+
+// Pending returns the number of queued (not yet executed) events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Blocked describes every currently blocked proc (diagnostics; the same
+// strings a DeadlockError would carry).
+func (e *Engine) Blocked() []string {
+	var blocked []string
+	for _, p := range e.procs {
+		if p.state == procBlocked {
+			blocked = append(blocked, p.describe())
+		}
+	}
+	return blocked
+}

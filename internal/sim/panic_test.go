@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// recoverPanicError runs fn and returns the *PanicError it panics with
+// (nil if fn returns normally or panics with something else).
+func recoverPanicError(t *testing.T, fn func()) (pe *PanicError) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		var ok bool
+		if pe, ok = r.(*PanicError); !ok {
+			t.Fatalf("panic value = %T (%v), want *PanicError", r, r)
+		}
+	}()
+	fn()
+	return nil
+}
+
+func TestProcPanicCarriesContext(t *testing.T) {
+	e := NewEngine()
+	e.Spawn(3, 0, 1, func(p *Proc) {
+		p.Work(50)
+		p.Sync()
+		panic("boom")
+	})
+	pe := recoverPanicError(t, func() { e.Drain() })
+	if pe == nil {
+		t.Fatal("proc panic did not reach the engine caller")
+	}
+	if pe.ProcID != 3 {
+		t.Errorf("ProcID = %d, want 3", pe.ProcID)
+	}
+	if pe.Cycle != 50 {
+		t.Errorf("Cycle = %d, want 50", pe.Cycle)
+	}
+	if pe.Value != "boom" {
+		t.Errorf("Value = %v, want boom", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("no stack captured")
+	}
+	if !strings.Contains(pe.Error(), "proc 3") || !strings.Contains(pe.Error(), "cycle 50") {
+		t.Errorf("Error() = %q, missing context", pe.Error())
+	}
+}
+
+func TestEventPanicCarriesContext(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() { panic("evt") })
+	pe := recoverPanicError(t, func() { e.Drain() })
+	if pe == nil {
+		t.Fatal("event panic not wrapped")
+	}
+	if pe.ProcID != -1 {
+		t.Errorf("ProcID = %d, want -1 (engine context)", pe.ProcID)
+	}
+	if pe.Cycle != 10 {
+		t.Errorf("Cycle = %d, want 10", pe.Cycle)
+	}
+}
+
+func TestPanicErrorNotDoubleWrapped(t *testing.T) {
+	e := NewEngine()
+	inner := &PanicError{ProcID: 7, Cycle: 1, Value: "inner"}
+	e.At(5, func() { panic(inner) })
+	pe := recoverPanicError(t, func() { e.Drain() })
+	if pe != inner {
+		t.Fatalf("wrapped an already-wrapped PanicError: %v", pe)
+	}
+}
+
+// After a proc panic, the remaining blocked procs must still be killable
+// so a harness can tear the simulation down without leaking goroutines.
+func TestKillAllAfterProcPanic(t *testing.T) {
+	e := NewEngine()
+	cleaned := false
+	e.Spawn(0, 0, 1, func(p *Proc) {
+		defer func() { cleaned = true }()
+		p.Block("forever")
+	})
+	e.Spawn(1, 5, 2, func(p *Proc) { panic("die") })
+	if pe := recoverPanicError(t, func() { e.Drain() }); pe == nil {
+		t.Fatal("expected a PanicError")
+	}
+	e.KillAll()
+	if !cleaned {
+		t.Fatal("blocked proc was not unwound after panic")
+	}
+}

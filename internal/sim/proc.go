@@ -57,7 +57,17 @@ func (e *Engine) Spawn(id int, start Time, seed uint64, fn func(*Proc)) *Proc {
 		defer func() {
 			if r := recover(); r != nil {
 				if _, ok := r.(killToken); !ok {
-					panic(r)
+					// A panic here is on the proc goroutine, where no
+					// harness can recover it. Wrap it with sim context
+					// and hand it to the engine, which re-raises it on
+					// its own goroutine (see Engine.dispatch).
+					pe, ok := r.(*PanicError)
+					if !ok {
+						pe = &PanicError{ProcID: p.ID, Cycle: e.now,
+							LocalClk: p.clock, EventSeq: e.curSeq,
+							Value: r, Stack: stack()}
+					}
+					e.fatal = pe
 				}
 			}
 			p.state = procDone
@@ -76,7 +86,9 @@ func (e *Engine) Spawn(id int, start Time, seed uint64, fn func(*Proc)) *Proc {
 }
 
 // dispatch hands control to p until it yields again. Must run inside an
-// engine event.
+// engine event. If the proc's goroutine died in a panic, the wrapped
+// *PanicError is re-raised here — on the engine goroutine — so it unwinds
+// through Run to a caller that can recover it.
 func (e *Engine) dispatch(p *Proc, t Time) {
 	if p.state == procDone {
 		return
@@ -84,6 +96,11 @@ func (e *Engine) dispatch(p *Proc, t Time) {
 	p.state = procRunning
 	p.resume <- t
 	<-p.yield
+	if e.fatal != nil {
+		pe := e.fatal
+		e.fatal = nil
+		panic(pe)
+	}
 }
 
 // park yields control back to the engine and blocks until woken, returning
@@ -163,6 +180,19 @@ func (p *Proc) Work(n Time) { p.clock += n }
 
 // RNG returns the proc's deterministic random number generator.
 func (p *Proc) RNG() *RNG { return &p.rng }
+
+// Status reports the proc's scheduling state for diagnostics: done means
+// the thread function returned (or the proc was killed); blocked means it
+// is parked waiting for a wake, with the reason and the cycle it parked.
+func (p *Proc) Status() (blocked bool, reason string, since Time, done bool) {
+	switch p.state {
+	case procBlocked:
+		return true, p.blockReason, p.blockSince, false
+	case procDone:
+		return false, "", 0, true
+	}
+	return false, "", 0, false
+}
 
 func (p *Proc) describe() string {
 	return fmt.Sprintf("proc %d: %s (since cycle %d, local clock %d)",
