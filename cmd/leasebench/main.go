@@ -8,6 +8,18 @@
 //	leasebench -list
 //	leasebench -exp fig2
 //	leasebench -exp all [-quick] [-threads 2,4,8] [-window 1500000]
+//	leasebench -exp all -quick -parallel 4 -perfjson BENCH_host.json
+//
+// Sweep cells — one (experiment, thread count, variant) measurement each —
+// run on a host worker pool (-parallel, default GOMAXPROCS). Each cell
+// owns a private simulated machine and rows are emitted in the original
+// serial order, so experiment output is byte-identical for any -parallel
+// value; only wall-clock changes.
+//
+// -perfjson records per-experiment wall-clock times (the tracked host-
+// performance trajectory; see EXPERIMENTS.md §Host performance), and
+// -perfbase computes speedups against a previously recorded file.
+// -cpuprofile/-memprofile capture pprof profiles of the harness itself.
 //
 // An experiment that panics is recovered and reported; the remaining
 // experiments still run and the exit status is 1. -strict aborts at the
@@ -15,15 +27,48 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
 
 	"leaserelease/internal/bench"
 )
+
+// ExpPerf is one experiment's recorded host wall-clock.
+type ExpPerf struct {
+	ID          string  `json:"id"`
+	WallSeconds float64 `json:"wall_seconds"`
+	OK          bool    `json:"ok"`
+	// SpeedupVsBase is baseline wall-clock divided by this run's, when
+	// -perfbase was given and the baseline has this experiment.
+	SpeedupVsBase float64 `json:"speedup_vs_base,omitempty"`
+}
+
+// PerfReport is the schema of -perfjson output (BENCH_host.json): the
+// host-performance trajectory every PR is measured against.
+type PerfReport struct {
+	SchemaVersion    int       `json:"schema_version"`
+	GoVersion        string    `json:"go_version"`
+	GOOS             string    `json:"goos"`
+	GOARCH           string    `json:"goarch"`
+	NumCPU           int       `json:"num_cpu"`
+	Parallel         int       `json:"parallel"`
+	Quick            bool      `json:"quick"`
+	Threads          []int     `json:"threads"`
+	WarmCycles       uint64    `json:"warm_cycles"`
+	WindowCycles     uint64    `json:"window_cycles"`
+	Experiments      []ExpPerf `json:"experiments"`
+	TotalWallSeconds float64   `json:"total_wall_seconds"`
+	// BaselineFile/TotalSpeedupVsBase are filled when -perfbase was given.
+	BaselineFile       string  `json:"baseline_file,omitempty"`
+	TotalSpeedupVsBase float64 `json:"total_speedup_vs_base,omitempty"`
+}
 
 func main() {
 	var (
@@ -34,6 +79,12 @@ func main() {
 		warm    = flag.Uint64("warm", 0, "warmup cycles (override)")
 		window  = flag.Uint64("window", 0, "measurement window cycles (override)")
 		strict  = flag.Bool("strict", false, "abort at the first failed experiment")
+
+		parallel = flag.Int("parallel", 0, "worker pool size for sweep cells (0 = GOMAXPROCS, 1 = serial)")
+		perfjson = flag.String("perfjson", "", "write per-experiment wall-clock times as JSON to this file")
+		perfbase = flag.String("perfbase", "", "baseline perfjson file to compute speedups against")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -70,6 +121,29 @@ func main() {
 		p.Window = *window
 	}
 
+	stopProfiles := startProfiles(*cpuprof, *memprof)
+	p.Pool = bench.NewPool(*parallel)
+	perf := &PerfReport{
+		SchemaVersion: 1,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		Parallel:      *parallel,
+		Quick:         *quick,
+		Threads:       p.Threads,
+		WarmCycles:    p.Warm,
+		WindowCycles:  p.Window,
+	}
+	// exit tears down the pool and flushes profiles and the perf report
+	// before the process ends (os.Exit skips deferred calls).
+	exit := func(code int) {
+		p.Pool.Close()
+		writePerf(*perfjson, *perfbase, perf)
+		stopProfiles()
+		os.Exit(code)
+	}
+
 	// run executes one experiment, converting an escaping panic (which the
 	// sim kernel annotates with cycle/proc/event context) into a reported
 	// failure so the remaining experiments still run.
@@ -81,7 +155,10 @@ func main() {
 				ok = false
 				fmt.Fprintf(os.Stderr, "leasebench: experiment %s FAILED: %v\n", e.ID, r)
 			}
-			fmt.Printf("(wall time %.1fs)\n\n", time.Since(start).Seconds())
+			wall := time.Since(start).Seconds()
+			perf.Experiments = append(perf.Experiments, ExpPerf{ID: e.ID, WallSeconds: wall, OK: ok})
+			perf.TotalWallSeconds += wall
+			fmt.Printf("(wall time %.1fs)\n\n", wall)
 		}()
 		e.Run(os.Stdout, p)
 		return true
@@ -93,14 +170,14 @@ func main() {
 			if !run(e) {
 				failed = true
 				if *strict {
-					os.Exit(1)
+					exit(1)
 				}
 			}
 		}
 		if failed {
-			os.Exit(1)
+			exit(1)
 		}
-		return
+		exit(0)
 	}
 	e, ok := bench.Find(*exp)
 	if !ok {
@@ -108,6 +185,102 @@ func main() {
 		os.Exit(2)
 	}
 	if !run(e) {
-		os.Exit(1)
+		exit(1)
+	}
+	exit(0)
+}
+
+// writePerf fills in speedups against the optional baseline file and
+// writes the perf report.
+func writePerf(path, basePath string, perf *PerfReport) {
+	if path == "" {
+		return
+	}
+	if basePath != "" {
+		base, err := readPerf(basePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "leasebench: -perfbase: %v\n", err)
+		} else {
+			perf.BaselineFile = basePath
+			baseWall := make(map[string]float64, len(base.Experiments))
+			var baseTotal float64
+			for _, e := range base.Experiments {
+				baseWall[e.ID] = e.WallSeconds
+			}
+			for i := range perf.Experiments {
+				e := &perf.Experiments[i]
+				if bw, ok := baseWall[e.ID]; ok && e.WallSeconds > 0 {
+					e.SpeedupVsBase = bw / e.WallSeconds
+					baseTotal += bw
+				}
+			}
+			if perf.TotalWallSeconds > 0 && baseTotal > 0 {
+				perf.TotalSpeedupVsBase = baseTotal / perf.TotalWallSeconds
+			}
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "leasebench: -perfjson: %v\n", err)
+		return
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(perf); err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "leasebench: -perfjson: %v\n", err)
+	}
+}
+
+func readPerf(path string) (*PerfReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var p PerfReport
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &p, nil
+}
+
+// startProfiles starts CPU profiling and arranges a heap profile at exit
+// (shared flag behavior with cmd/leasesim). The returned func must run
+// before the process exits.
+func startProfiles(cpu, mem string) func() {
+	var cpuF *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "leasebench: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "leasebench: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		cpuF = f
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "leasebench: -memprofile: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "leasebench: -memprofile: %v\n", err)
+			}
+			f.Close()
+		}
 	}
 }

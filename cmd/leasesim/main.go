@@ -8,27 +8,36 @@
 //	leasesim -ds tl2 -threads 8 -multilease sw
 //	leasesim -ds stack -threads 16 -lease -json -hotlines 5 -timeline t.json
 //	leasesim -ds stack -threads 4,8,16 -lease -invariants -faults
+//	leasesim -ds stack -threads 1,2,4,8,16,32 -lease -parallel 4
 //
-// -threads accepts a comma-separated sweep; each count is one cell. A
-// failing cell (deadlock, panic, protocol/invariant violation) is
+// -threads accepts a comma-separated sweep; each count is one cell. Cells
+// run on a host worker pool (-parallel, default GOMAXPROCS; each cell owns
+// a private simulated machine) with stdout/stderr buffered per cell and
+// emitted in sweep order, so output is byte-identical for any -parallel
+// value. A failing cell (deadlock, panic, protocol/invariant violation) is
 // reported on stderr with a machine state dump, the rest of the sweep
-// still runs, and the exit status is 1; -strict instead aborts at the
-// first failed cell. -invariants attaches the runtime invariant checker;
-// -faults enables deterministic protocol-legal fault injection (seeded
-// from -seed, so failures replay exactly).
+// still runs, and the exit status is 1; -strict instead stops emitting at
+// the first failed cell. -invariants attaches the runtime invariant
+// checker; -faults enables deterministic protocol-legal fault injection
+// (seeded from -seed, so failures replay exactly).
 //
 // Every run records telemetry (latency/hold-time/queue histograms and the
 // per-line contention profile). -json switches the report to machine-
 // readable JSON; -timeline additionally writes a Chrome trace-event file
 // loadable in chrome://tracing or https://ui.perfetto.dev showing each
 // core's lease intervals on the simulated timeline.
+// -cpuprofile/-memprofile capture pprof profiles of the host process.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -75,6 +84,10 @@ func main() {
 		invariants = flag.Bool("invariants", false, "attach the runtime invariant checker (violations fail the run)")
 		faultsOn   = flag.Bool("faults", false, "enable deterministic protocol-legal fault injection")
 		strict     = flag.Bool("strict", false, "abort the sweep at the first failed cell")
+
+		parallel = flag.Int("parallel", 0, "worker pool size for sweep cells (0 = GOMAXPROCS, 1 = serial)")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -83,30 +96,66 @@ func main() {
 		fmt.Fprintf(os.Stderr, "leasesim: %v\n", err)
 		os.Exit(2)
 	}
+	if !validDS(*dsName) {
+		fmt.Fprintf(os.Stderr, "leasesim: unknown -ds %q\n", *dsName)
+		os.Exit(2)
+	}
+	if *dsName == "tl2" && parseMulti(*multi) < 0 {
+		fmt.Fprintf(os.Stderr, "leasesim: bad -multilease %q\n", *multi)
+		os.Exit(2)
+	}
 
-	anyFailed := false
-	for _, n := range threadList {
+	stopProfiles := startProfiles(*cpuprof, *memprof)
+	pool := bench.NewPool(*parallel)
+	exit := func(code int) {
+		pool.Close()
+		stopProfiles()
+		os.Exit(code)
+	}
+
+	// Submit every cell first, then emit buffered results in sweep order:
+	// output is byte-identical to a serial run for any -parallel value.
+	type cellResult struct {
+		out, errOut []byte
+		ok          bool
+	}
+	futures := make([]*bench.Future[cellResult], len(threadList))
+	for i, n := range threadList {
 		tl := *timeline
 		if tl != "" && len(threadList) > 1 {
 			tl = fmt.Sprintf("%s.t%d", tl, n)
 		}
-		if !runCell(cell{
+		c := cell{
 			ds: *dsName, threads: n, lease: *lease, leaseTime: *leaseTime,
 			maxLease: *maxLease, cycles: *cycles, warm: *warm,
 			priority: *priority, mesi: *mesi, trace: *trace,
 			predictor: *predictor, multi: *multi, seed: *seed,
 			jsonOut: *jsonOut, hotlines: *hotlines, timeline: tl,
 			samples: *samples, invariants: *invariants, faults: *faultsOn,
-		}) {
+		}
+		futures[i] = bench.Go(pool, func() cellResult {
+			var out, errOut bytes.Buffer
+			ok := runCell(c, &out, &errOut)
+			return cellResult{out: out.Bytes(), errOut: errOut.Bytes(), ok: ok}
+		})
+	}
+
+	anyFailed := false
+	for _, fu := range futures {
+		r := fu.Get()
+		os.Stdout.Write(r.out)
+		os.Stderr.Write(r.errOut)
+		if !r.ok {
 			anyFailed = true
 			if *strict {
-				os.Exit(1)
+				exit(1)
 			}
 		}
 	}
 	if anyFailed {
-		os.Exit(1)
+		exit(1)
 	}
+	exit(0)
 }
 
 // cell is one sweep configuration (one thread count).
@@ -128,9 +177,34 @@ type cell struct {
 	invariants, faults  bool
 }
 
-// runCell runs one configuration and reports it; false means the run
-// failed (the failure has been reported on stderr).
-func runCell(c cell) bool {
+func validDS(name string) bool {
+	switch name {
+	case "stack", "queue", "pq", "counter", "multiqueue", "tl2",
+		"harris", "skiplist", "bst", "hash", "lfskip", "lfbst", "lfhash":
+		return true
+	}
+	return false
+}
+
+// parseMulti maps a -multilease flavor to an stm mode, or -1 if unknown.
+func parseMulti(s string) stm.LeaseMode {
+	switch s {
+	case "hw":
+		return stm.HWMulti
+	case "sw":
+		return stm.SWMulti
+	case "single":
+		return stm.SingleFirst
+	case "off":
+		return stm.NoLease
+	}
+	return -1
+}
+
+// runCell runs one configuration and reports it on out/errOut (buffered
+// per cell so sweep cells can run concurrently); false means the run
+// failed (the failure has been reported on errOut).
+func runCell(c cell, out, errOut io.Writer) bool {
 	cfg := machine.DefaultConfig(c.threads)
 	cfg.Lease.MaxLeaseTime = c.maxLease
 	cfg.RegularBreaksLease = c.priority
@@ -173,21 +247,7 @@ func runCell(c cell) bool {
 	case "multiqueue":
 		build = bench.MQWorkload(multiqueue.Options{LeaseTime: lt})
 	case "tl2":
-		mode := stm.NoLease
-		switch c.multi {
-		case "hw":
-			mode = stm.HWMulti
-		case "sw":
-			mode = stm.SWMulti
-		case "single":
-			mode = stm.SingleFirst
-		case "off":
-			mode = stm.NoLease
-		default:
-			fmt.Fprintf(os.Stderr, "leasesim: bad -multilease %q\n", c.multi)
-			os.Exit(2)
-		}
-		build = bench.TL2Workload(mode, &aborts)
+		build = bench.TL2Workload(parseMulti(c.multi), &aborts)
 	case "harris":
 		build = bench.SetWorkload(bench.SetHarris, lt, 1024, 512)
 	case "skiplist":
@@ -202,9 +262,6 @@ func runCell(c cell) bool {
 		build = bench.SetWorkload(bench.SetNMTree, lt, 1024, 512)
 	case "lfhash":
 		build = bench.SetWorkload(bench.SetMichaelHash, lt, 1024, 512)
-	default:
-		fmt.Fprintf(os.Stderr, "leasesim: unknown -ds %q\n", c.ds)
-		os.Exit(2)
 	}
 
 	rec := telemetry.NewRecorder()
@@ -217,7 +274,7 @@ func runCell(c cell) bool {
 		hooks = append(hooks, func(m *machine.Machine) {
 			m.SetTracer(func(e machine.TraceEvent) {
 				if left > 0 {
-					fmt.Println(e)
+					fmt.Fprintln(out, e)
 					left--
 				}
 			})
@@ -227,14 +284,14 @@ func runCell(c cell) bool {
 		bench.Options{Recorder: rec, Samples: c.samples, Hooks: hooks, Invariants: c.invariants})
 
 	if r.Err != nil {
-		fmt.Fprintf(os.Stderr, "leasesim: ds=%s threads=%d seed=%d FAILED (%s): %s\n",
+		fmt.Fprintf(errOut, "leasesim: ds=%s threads=%d seed=%d FAILED (%s): %s\n",
 			c.ds, c.threads, c.seed, r.Err.Reason, r.Err.Detail)
 		if r.Err.Dump != nil {
-			fmt.Fprint(os.Stderr, r.Err.Dump)
+			fmt.Fprint(errOut, r.Err.Dump)
 		}
 		if c.jsonOut {
 			rep := bench.BuildReport(c.ds, c.threads, c.lease, cfg, c.warm, c.cycles, r, nil, 0)
-			enc := json.NewEncoder(os.Stdout)
+			enc := json.NewEncoder(out)
 			enc.SetIndent("", "  ")
 			enc.Encode(rep)
 		}
@@ -244,8 +301,8 @@ func runCell(c cell) bool {
 	if c.timeline != "" {
 		f, err := os.Create(c.timeline)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "leasesim: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(errOut, "leasesim: %v\n", err)
+			return false
 		}
 		if err := rec.Timeline.Write(f); err == nil {
 			err = f.Close()
@@ -253,8 +310,8 @@ func runCell(c cell) bool {
 			f.Close()
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "leasesim: writing timeline: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(errOut, "leasesim: writing timeline: %v\n", err)
+			return false
 		}
 	}
 
@@ -262,33 +319,33 @@ func runCell(c cell) bool {
 		rep := bench.BuildReport(c.ds, c.threads, c.lease, cfg, c.warm, c.cycles, r, rec, c.hotlines)
 		rep.Aborts = aborts
 		rep.TimelineFile = c.timeline
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
-			fmt.Fprintf(os.Stderr, "leasesim: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(errOut, "leasesim: %v\n", err)
+			return false
 		}
 		return true
 	}
 
-	fmt.Printf("ds=%s threads=%d lease=%v window=%d cycles\n", c.ds, c.threads, c.lease, r.Cycles)
-	fmt.Printf("ops            %d\n", r.Ops)
-	fmt.Printf("throughput     %.3f Mops/s\n", r.MopsPerSec)
-	fmt.Printf("energy         %.3f nJ/op\n", r.NJPerOp)
-	fmt.Printf("L1 misses/op   %.3f\n", r.MissesPerOp)
-	fmt.Printf("messages/op    %.3f\n", r.MsgsPerOp)
-	fmt.Printf("CAS fails/op   %.3f\n", r.CASFailsPerOp)
-	fmt.Printf("fairness       %.3f\n", r.Fairness)
+	fmt.Fprintf(out, "ds=%s threads=%d lease=%v window=%d cycles\n", c.ds, c.threads, c.lease, r.Cycles)
+	fmt.Fprintf(out, "ops            %d\n", r.Ops)
+	fmt.Fprintf(out, "throughput     %.3f Mops/s\n", r.MopsPerSec)
+	fmt.Fprintf(out, "energy         %.3f nJ/op\n", r.NJPerOp)
+	fmt.Fprintf(out, "L1 misses/op   %.3f\n", r.MissesPerOp)
+	fmt.Fprintf(out, "messages/op    %.3f\n", r.MsgsPerOp)
+	fmt.Fprintf(out, "CAS fails/op   %.3f\n", r.CASFailsPerOp)
+	fmt.Fprintf(out, "fairness       %.3f\n", r.Fairness)
 	if aborts > 0 {
-		fmt.Printf("tl2 aborts     %d (warm+window)\n", aborts)
+		fmt.Fprintf(out, "tl2 aborts     %d (warm+window)\n", aborts)
 	}
 
-	fmt.Println("\nlatency distributions (cycles):")
+	fmt.Fprintln(out, "\nlatency distributions (cycles):")
 	printDist := func(name string, s *telemetry.Summary) {
 		if s == nil || s.Count == 0 {
 			return
 		}
-		fmt.Printf("%-14s %s\n", name, s)
+		fmt.Fprintf(out, "%-14s %s\n", name, s)
 	}
 	printDist("op latency", r.OpLatency)
 	printDist("lease hold", r.LeaseHold)
@@ -296,29 +353,66 @@ func runCell(c cell) bool {
 	printDist("dir queue", r.DirQueue)
 
 	if c.hotlines > 0 && rec.Lines.Len() > 0 {
-		fmt.Printf("\nhot lines (top %d of %d):\n", c.hotlines, rec.Lines.Len())
-		fmt.Printf("%-12s %10s %10s %8s %10s %8s %8s\n",
+		fmt.Fprintf(out, "\nhot lines (top %d of %d):\n", c.hotlines, rec.Lines.Len())
+		fmt.Fprintf(out, "%-12s %10s %10s %8s %10s %8s %8s\n",
 			"line", "score", "msgs", "invals", "deferred", "leases", "maxdirq")
 		for _, h := range bench.HotLineRows(rec, c.hotlines) {
-			fmt.Printf("%-12s %10d %10d %8d %10d %8d %8d\n",
+			fmt.Fprintf(out, "%-12s %10d %10d %8d %10d %8d %8d\n",
 				h.Line, h.Score, h.Msgs, h.Invals, h.Deferred, h.Leases, h.MaxQueue)
 		}
 	}
 
 	if len(r.Series) > 0 {
-		fmt.Println("\ntime series (per-window deltas):")
-		fmt.Printf("%12s %10s %10s %10s %10s\n", "end cycle", "ops", "msgs", "l1miss", "deferred")
+		fmt.Fprintln(out, "\ntime series (per-window deltas):")
+		fmt.Fprintf(out, "%12s %10s %10s %10s %10s\n", "end cycle", "ops", "msgs", "l1miss", "deferred")
 		for _, s := range r.Series {
-			fmt.Printf("%12d %10d %10d %10d %10d\n",
+			fmt.Fprintf(out, "%12d %10d %10d %10d %10d\n",
 				s.EndCycle, s.Ops, s.Stats.TotalMsgs(), s.Stats.L1Misses, s.Stats.DeferredProbes)
 		}
 	}
 
 	if c.timeline != "" {
-		fmt.Printf("\ntimeline written to %s (open in chrome://tracing or ui.perfetto.dev)\n", c.timeline)
+		fmt.Fprintf(out, "\ntimeline written to %s (open in chrome://tracing or ui.perfetto.dev)\n", c.timeline)
 	}
 
-	fmt.Println("\nwindow counters:")
-	fmt.Println(r.Window)
+	fmt.Fprintln(out, "\nwindow counters:")
+	fmt.Fprintln(out, r.Window)
 	return true
+}
+
+// startProfiles starts CPU profiling and arranges a heap profile at exit
+// (shared flag behavior with cmd/leasebench). The returned func must run
+// before the process exits.
+func startProfiles(cpu, mem string) func() {
+	var cpuF *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "leasesim: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "leasesim: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		cpuF = f
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "leasesim: -memprofile: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "leasesim: -memprofile: %v\n", err)
+			}
+			f.Close()
+		}
+	}
 }

@@ -17,6 +17,12 @@ type Params struct {
 	Threads []int  // thread counts to sweep
 	Warm    uint64 // warmup cycles
 	Window  uint64 // measurement window cycles
+
+	// Pool runs the sweep's cells — one (experiment, thread count,
+	// variant) measurement each — on a host worker pool. Each cell owns a
+	// private simulated machine, and rows are emitted in serial order, so
+	// output is byte-identical for any pool size. nil means serial.
+	Pool *Pool
 }
 
 // FullParams reproduces the paper's sweeps (2..64 threads, Fig. 2 also 1).
@@ -72,6 +78,17 @@ func Find(id string) (Experiment, bool) {
 
 func cfgFor(threads int) machine.Config { return machine.DefaultConfig(threads) }
 
+// cell submits one plain throughput measurement as a pool cell.
+func (p Params) cell(cfg machine.Config, n int, build func(d *machine.Direct) OpFunc) *Future[Result] {
+	return Go(p.Pool, func() Result { return Throughput(cfg, n, p.Warm, p.Window, build) })
+}
+
+// mcell submits one telemetry-enabled measurement (latency digests) as a
+// pool cell.
+func (p Params) mcell(cfg machine.Config, n int, build func(d *machine.Direct) OpFunc) *Future[Result] {
+	return Go(p.Pool, func() Result { return measured(cfg, n, p, build) })
+}
+
 func runTable1(w io.Writer, p Params) {
 	cfg := machine.DefaultConfig(64)
 	t := NewTable("parameter", "value")
@@ -101,9 +118,16 @@ func runFig2(w io.Writer, p Params) {
 	if threads[0] != 1 {
 		threads = append([]int{1}, threads...)
 	}
-	for _, n := range threads {
-		base := measured(cfgFor(n), n, p, StackWorkload(ds.StackOptions{}))
-		lease := measured(cfgFor(n), n, p, StackWorkload(ds.StackOptions{Lease: LeaseTime}))
+	type row struct{ base, lease *Future[Result] }
+	rows := make([]row, len(threads))
+	for i, n := range threads {
+		rows[i] = row{
+			base:  p.mcell(cfgFor(n), n, StackWorkload(ds.StackOptions{})),
+			lease: p.mcell(cfgFor(n), n, StackWorkload(ds.StackOptions{Lease: LeaseTime})),
+		}
+	}
+	for i, n := range threads {
+		base, lease := rows[i].base.Get(), rows[i].lease.Get()
 		t.Row(n, base.MopsPerSec, lease.MopsPerSec, ratio(lease.MopsPerSec, base.MopsPerSec),
 			base.MissesPerOp, lease.MissesPerOp,
 			fmtP5099(base.OpLatency), fmtP5099(lease.OpLatency))
@@ -123,11 +147,19 @@ func runFig3Counter(w io.Writer, p Params) {
 	t := NewTable("threads",
 		"tts Mops/s", "lease Mops/s", "ticket Mops/s", "clh Mops/s",
 		"tts nJ/op", "lease nJ/op", "lease lat p50/p99", "hold p50/p99")
-	for _, n := range p.Threads {
-		tts := Throughput(cfgFor(n), n, p.Warm, p.Window, CounterWorkload(CounterTTS))
-		lease := measured(cfgFor(n), n, p, CounterWorkload(CounterLeasedTTS))
-		ticket := Throughput(cfgFor(n), n, p.Warm, p.Window, CounterWorkload(CounterTicket))
-		clh := Throughput(cfgFor(n), n, p.Warm, p.Window, CounterWorkload(CounterCLH))
+	type row struct{ tts, lease, ticket, clh *Future[Result] }
+	rows := make([]row, len(p.Threads))
+	for i, n := range p.Threads {
+		rows[i] = row{
+			tts:    p.cell(cfgFor(n), n, CounterWorkload(CounterTTS)),
+			lease:  p.mcell(cfgFor(n), n, CounterWorkload(CounterLeasedTTS)),
+			ticket: p.cell(cfgFor(n), n, CounterWorkload(CounterTicket)),
+			clh:    p.cell(cfgFor(n), n, CounterWorkload(CounterCLH)),
+		}
+	}
+	for i, n := range p.Threads {
+		tts, lease := rows[i].tts.Get(), rows[i].lease.Get()
+		ticket, clh := rows[i].ticket.Get(), rows[i].clh.Get()
 		t.Row(n, tts.MopsPerSec, lease.MopsPerSec, ticket.MopsPerSec, clh.MopsPerSec,
 			tts.NJPerOp, lease.NJPerOp, fmtP5099(lease.OpLatency), fmtP5099(lease.LeaseHold))
 	}
@@ -138,12 +170,20 @@ func runFig3Queue(w io.Writer, p Params) {
 	t := NewTable("threads",
 		"base Mops/s", "lease Mops/s", "multi Mops/s", "flatcomb Mops/s", "lcrq Mops/s",
 		"base nJ/op", "lease nJ/op")
-	for _, n := range p.Threads {
-		base := Throughput(cfgFor(n), n, p.Warm, p.Window, QueueWorkload(ds.QueueNoLease))
-		single := Throughput(cfgFor(n), n, p.Warm, p.Window, QueueWorkload(ds.QueueSingleLease))
-		multi := Throughput(cfgFor(n), n, p.Warm, p.Window, QueueWorkload(ds.QueueMultiLease))
-		fc := Throughput(cfgFor(n), n, p.Warm, p.Window, FCQueueWorkload(n))
-		lcrq := Throughput(cfgFor(n), n, p.Warm, p.Window, LCRQWorkload())
+	type row struct{ base, single, multi, fc, lcrq *Future[Result] }
+	rows := make([]row, len(p.Threads))
+	for i, n := range p.Threads {
+		rows[i] = row{
+			base:   p.cell(cfgFor(n), n, QueueWorkload(ds.QueueNoLease)),
+			single: p.cell(cfgFor(n), n, QueueWorkload(ds.QueueSingleLease)),
+			multi:  p.cell(cfgFor(n), n, QueueWorkload(ds.QueueMultiLease)),
+			fc:     p.cell(cfgFor(n), n, FCQueueWorkload(n)),
+			lcrq:   p.cell(cfgFor(n), n, LCRQWorkload()),
+		}
+	}
+	for i, n := range p.Threads {
+		base, single := rows[i].base.Get(), rows[i].single.Get()
+		multi, fc, lcrq := rows[i].multi.Get(), rows[i].fc.Get(), rows[i].lcrq.Get()
 		t.Row(n, base.MopsPerSec, single.MopsPerSec, multi.MopsPerSec, fc.MopsPerSec,
 			lcrq.MopsPerSec, base.NJPerOp, single.NJPerOp)
 	}
@@ -154,10 +194,17 @@ func runFig3PQ(w io.Writer, p Params) {
 	t := NewTable("threads",
 		"fine Mops/s", "global Mops/s", "lease Mops/s",
 		"fine nJ/op", "lease nJ/op")
-	for _, n := range p.Threads {
-		fine := Throughput(cfgFor(n), n, p.Warm, p.Window, PQWorkload(PQFineLocking, 512))
-		glob := Throughput(cfgFor(n), n, p.Warm, p.Window, PQWorkload(PQGlobalBase, 512))
-		lease := Throughput(cfgFor(n), n, p.Warm, p.Window, PQWorkload(PQGlobalLeased, 512))
+	type row struct{ fine, glob, lease *Future[Result] }
+	rows := make([]row, len(p.Threads))
+	for i, n := range p.Threads {
+		rows[i] = row{
+			fine:  p.cell(cfgFor(n), n, PQWorkload(PQFineLocking, 512)),
+			glob:  p.cell(cfgFor(n), n, PQWorkload(PQGlobalBase, 512)),
+			lease: p.cell(cfgFor(n), n, PQWorkload(PQGlobalLeased, 512)),
+		}
+	}
+	for i, n := range p.Threads {
+		fine, glob, lease := rows[i].fine.Get(), rows[i].glob.Get(), rows[i].lease.Get()
 		t.Row(n, fine.MopsPerSec, glob.MopsPerSec, lease.MopsPerSec,
 			fine.NJPerOp, lease.NJPerOp)
 	}
@@ -166,9 +213,16 @@ func runFig3PQ(w io.Writer, p Params) {
 
 func runFig4MQ(w io.Writer, p Params) {
 	t := NewTable("threads", "base Mops/s", "lease Mops/s", "speedup", "base nJ/op", "lease nJ/op")
-	for _, n := range p.Threads {
-		base := Throughput(cfgFor(n), n, p.Warm, p.Window, MQWorkload(multiqueue.Options{}))
-		lease := Throughput(cfgFor(n), n, p.Warm, p.Window, MQWorkload(multiqueue.Options{LeaseTime: LeaseTime}))
+	type row struct{ base, lease *Future[Result] }
+	rows := make([]row, len(p.Threads))
+	for i, n := range p.Threads {
+		rows[i] = row{
+			base:  p.cell(cfgFor(n), n, MQWorkload(multiqueue.Options{})),
+			lease: p.cell(cfgFor(n), n, MQWorkload(multiqueue.Options{LeaseTime: LeaseTime})),
+		}
+	}
+	for i, n := range p.Threads {
+		base, lease := rows[i].base.Get(), rows[i].lease.Get()
 		t.Row(n, base.MopsPerSec, lease.MopsPerSec, ratio(lease.MopsPerSec, base.MopsPerSec),
 			base.NJPerOp, lease.NJPerOp)
 	}
@@ -179,10 +233,17 @@ func runFig4TL2(w io.Writer, p Params) {
 	t := NewTable("threads",
 		"base Mtx/s", "multi Mtx/s", "single Mtx/s",
 		"base aborts/tx", "multi aborts/tx", "base nJ/tx", "multi nJ/tx")
-	for _, n := range p.Threads {
-		base := tl2Run(p, n, stm.NoLease)
-		multi := tl2Run(p, n, stm.HWMulti)
-		single := tl2Run(p, n, stm.SingleFirst)
+	type row struct{ base, multi, single *Future[Result] }
+	rows := make([]row, len(p.Threads))
+	for i, n := range p.Threads {
+		rows[i] = row{
+			base:   Go(p.Pool, func() Result { return tl2Run(p, n, stm.NoLease) }),
+			multi:  Go(p.Pool, func() Result { return tl2Run(p, n, stm.HWMulti) }),
+			single: Go(p.Pool, func() Result { return tl2Run(p, n, stm.SingleFirst) }),
+		}
+	}
+	for i, n := range p.Threads {
+		base, multi, single := rows[i].base.Get(), rows[i].multi.Get(), rows[i].single.Get()
 		t.Row(n, base.MopsPerSec, multi.MopsPerSec, single.MopsPerSec,
 			base.AbortsPerOp, multi.AbortsPerOp, base.NJPerOp, multi.NJPerOp)
 	}
@@ -202,9 +263,16 @@ func tl2Run(p Params, n int, mode stm.LeaseMode) Result {
 
 func runFig5SwHw(w io.Writer, p Params) {
 	t := NewTable("threads", "hw Mtx/s", "sw Mtx/s", "hw/sw", "hw aborts/tx", "sw aborts/tx")
-	for _, n := range p.Threads {
-		hw := tl2Run(p, n, stm.HWMulti)
-		sw := tl2Run(p, n, stm.SWMulti)
+	type row struct{ hw, sw *Future[Result] }
+	rows := make([]row, len(p.Threads))
+	for i, n := range p.Threads {
+		rows[i] = row{
+			hw: Go(p.Pool, func() Result { return tl2Run(p, n, stm.HWMulti) }),
+			sw: Go(p.Pool, func() Result { return tl2Run(p, n, stm.SWMulti) }),
+		}
+	}
+	for i, n := range p.Threads {
+		hw, sw := rows[i].hw.Get(), rows[i].sw.Get()
 		t.Row(n, hw.MopsPerSec, sw.MopsPerSec, ratio(hw.MopsPerSec, sw.MopsPerSec),
 			hw.AbortsPerOp, sw.AbortsPerOp)
 	}
@@ -217,18 +285,39 @@ func runFig5Pagerank(w io.Writer, p Params) {
 	if p.Window <= QuickParams().Window {
 		nodes, iters = 256, 2
 	}
+	type prun struct {
+		cycles uint64
+		err    error
+	}
+	type row struct {
+		n           int
+		base, lease *Future[prun]
+	}
+	var rows []row
 	for _, n := range p.Threads {
 		if n > 32 {
 			continue // the paper evaluates Pagerank up to 32 threads
 		}
-		baseCyc, _, berr := PagerankRun(cfgFor(n), n, 0, nodes, iters)
-		leaseCyc, _, lerr := PagerankRun(cfgFor(n), n, LeaseTime, nodes, iters)
-		if berr != nil || lerr != nil {
-			fmt.Fprintf(w, "pagerank with %d threads FAILED: base=%v lease=%v\n", n, berr, lerr)
+		rows = append(rows, row{
+			n: n,
+			base: Go(p.Pool, func() prun {
+				c, _, err := PagerankRun(cfgFor(n), n, 0, nodes, iters)
+				return prun{c, err}
+			}),
+			lease: Go(p.Pool, func() prun {
+				c, _, err := PagerankRun(cfgFor(n), n, LeaseTime, nodes, iters)
+				return prun{c, err}
+			}),
+		})
+	}
+	for _, r := range rows {
+		base, lease := r.base.Get(), r.lease.Get()
+		if base.err != nil || lease.err != nil {
+			fmt.Fprintf(w, "pagerank with %d threads FAILED: base=%v lease=%v\n", r.n, base.err, lease.err)
 			continue
 		}
-		t.Row(n, float64(baseCyc)/1e6, float64(leaseCyc)/1e6,
-			ratio(float64(baseCyc), float64(leaseCyc)))
+		t.Row(r.n, float64(base.cycles)/1e6, float64(lease.cycles)/1e6,
+			ratio(float64(base.cycles), float64(lease.cycles)))
 	}
 	t.Print(w)
 }
@@ -236,17 +325,24 @@ func runFig5Pagerank(w io.Writer, p Params) {
 func runTextBackoff(w io.Writer, p Params) {
 	t := NewTable("threads", "base Mops/s", "backoff Mops/s", "tuned-backoff Mops/s",
 		"elimination Mops/s", "flatcomb Mops/s", "lease Mops/s")
-	for _, n := range p.Threads {
-		base := Throughput(cfgFor(n), n, p.Warm, p.Window, StackWorkload(ds.StackOptions{}))
-		bo := Throughput(cfgFor(n), n, p.Warm, p.Window,
-			StackWorkload(ds.StackOptions{Backoff: ds.Backoff{Min: 32, Max: 4096}}))
-		tuned := Throughput(cfgFor(n), n, p.Warm, p.Window,
-			StackWorkload(ds.StackOptions{Backoff: ds.Backoff{Min: 64, Max: 64 * uint64(n)}}))
-		elim := Throughput(cfgFor(n), n, p.Warm, p.Window, EliminationStackWorkload())
-		fc := Throughput(cfgFor(n), n, p.Warm, p.Window, FCStackWorkload(n))
-		lease := Throughput(cfgFor(n), n, p.Warm, p.Window, StackWorkload(ds.StackOptions{Lease: LeaseTime}))
-		t.Row(n, base.MopsPerSec, bo.MopsPerSec, tuned.MopsPerSec, elim.MopsPerSec,
-			fc.MopsPerSec, lease.MopsPerSec)
+	type row struct{ base, bo, tuned, elim, fc, lease *Future[Result] }
+	rows := make([]row, len(p.Threads))
+	for i, n := range p.Threads {
+		rows[i] = row{
+			base: p.cell(cfgFor(n), n, StackWorkload(ds.StackOptions{})),
+			bo: p.cell(cfgFor(n), n,
+				StackWorkload(ds.StackOptions{Backoff: ds.Backoff{Min: 32, Max: 4096}})),
+			tuned: p.cell(cfgFor(n), n,
+				StackWorkload(ds.StackOptions{Backoff: ds.Backoff{Min: 64, Max: 64 * uint64(n)}})),
+			elim:  p.cell(cfgFor(n), n, EliminationStackWorkload()),
+			fc:    p.cell(cfgFor(n), n, FCStackWorkload(n)),
+			lease: p.cell(cfgFor(n), n, StackWorkload(ds.StackOptions{Lease: LeaseTime})),
+		}
+	}
+	for i, n := range p.Threads {
+		r := rows[i]
+		t.Row(n, r.base.Get().MopsPerSec, r.bo.Get().MopsPerSec, r.tuned.Get().MopsPerSec,
+			r.elim.Get().MopsPerSec, r.fc.Get().MopsPerSec, r.lease.Get().MopsPerSec)
 	}
 	t.Print(w)
 }
@@ -257,26 +353,47 @@ func runTextLowContention(w io.Writer, p Params) {
 	// thread counts to keep seven structures tractable.
 	t := NewTable("structure", "threads", "base Mops/s", "lease Mops/s", "delta %")
 	keyRange, prefill := 512, 256
-	window := p.Window / 2
+	half := p
+	half.Window = p.Window / 2
+	type row struct {
+		kind        SetKind
+		n           int
+		base, lease *Future[Result]
+	}
+	var rows []row
 	for _, kind := range AllSetKinds() {
 		for _, n := range p.Threads {
 			if n < 4 && len(p.Threads) > 2 {
 				continue
 			}
-			base := Throughput(cfgFor(n), n, p.Warm, window, SetWorkload(kind, 0, keyRange, prefill))
-			lease := Throughput(cfgFor(n), n, p.Warm, window, SetWorkload(kind, LeaseTime, keyRange, prefill))
-			t.Row(kind.String(), n, base.MopsPerSec, lease.MopsPerSec,
-				100*(lease.MopsPerSec-base.MopsPerSec)/base.MopsPerSec)
+			rows = append(rows, row{
+				kind:  kind,
+				n:     n,
+				base:  half.cell(cfgFor(n), n, SetWorkload(kind, 0, keyRange, prefill)),
+				lease: half.cell(cfgFor(n), n, SetWorkload(kind, LeaseTime, keyRange, prefill)),
+			})
 		}
+	}
+	for _, r := range rows {
+		base, lease := r.base.Get(), r.lease.Get()
+		t.Row(r.kind.String(), r.n, base.MopsPerSec, lease.MopsPerSec,
+			100*(lease.MopsPerSec-base.MopsPerSec)/base.MopsPerSec)
 	}
 	t.Print(w)
 }
 
 func runTextConstMiss(w io.Writer, p Params) {
 	t := NewTable("threads", "base miss/op", "lease miss/op", "base msgs/op", "lease msgs/op")
-	for _, n := range p.Threads {
-		base := Throughput(cfgFor(n), n, p.Warm, p.Window, StackWorkload(ds.StackOptions{}))
-		lease := Throughput(cfgFor(n), n, p.Warm, p.Window, StackWorkload(ds.StackOptions{Lease: LeaseTime}))
+	type row struct{ base, lease *Future[Result] }
+	rows := make([]row, len(p.Threads))
+	for i, n := range p.Threads {
+		rows[i] = row{
+			base:  p.cell(cfgFor(n), n, StackWorkload(ds.StackOptions{})),
+			lease: p.cell(cfgFor(n), n, StackWorkload(ds.StackOptions{Lease: LeaseTime})),
+		}
+	}
+	for i, n := range p.Threads {
+		base, lease := rows[i].base.Get(), rows[i].lease.Get()
 		t.Row(n, base.MissesPerOp, lease.MissesPerOp, base.MsgsPerOp, lease.MsgsPerOp)
 	}
 	t.Print(w)
@@ -287,11 +404,18 @@ func runAblateLeaseTime(w io.Writer, p Params) {
 	// even with MAX_LEASE_TIME reduced from 20K to 1K cycles, because
 	// releases are voluntary long before the bound.
 	t := NewTable("threads", "20K Mops/s", "1K Mops/s", "20K miss/op", "1K miss/op", "1K invol-rel/op")
-	for _, n := range p.Threads {
-		long := Throughput(cfgFor(n), n, p.Warm, p.Window, StackWorkload(ds.StackOptions{Lease: 20000}))
+	type row struct{ long, short *Future[Result] }
+	rows := make([]row, len(p.Threads))
+	for i, n := range p.Threads {
 		cfgShort := cfgFor(n)
 		cfgShort.Lease.MaxLeaseTime = 1000
-		short := Throughput(cfgShort, n, p.Warm, p.Window, StackWorkload(ds.StackOptions{Lease: 1000}))
+		rows[i] = row{
+			long:  p.cell(cfgFor(n), n, StackWorkload(ds.StackOptions{Lease: 20000})),
+			short: p.cell(cfgShort, n, StackWorkload(ds.StackOptions{Lease: 1000})),
+		}
+	}
+	for i, n := range p.Threads {
+		long, short := rows[i].long.Get(), rows[i].short.Get()
 		invol := float64(short.Window.InvoluntaryReleases) / float64(max64(short.Ops, 1))
 		t.Row(n, long.MopsPerSec, short.MopsPerSec, long.MissesPerOp, short.MissesPerOp, invol)
 	}
@@ -314,11 +438,18 @@ func runAblateLeaseTime(w io.Writer, p Params) {
 		}
 	}
 	t2 := NewTable("threads", "bound 20K Mops/s", "bound 100 Mops/s", "bound-100 invol-rel/op")
-	for _, n := range p.Threads {
-		ok := Throughput(cfgFor(n), n, p.Warm, p.Window, longCS(20000, 20000))
+	type row2 struct{ ok, tight *Future[Result] }
+	rows2 := make([]row2, len(p.Threads))
+	for i, n := range p.Threads {
 		cfgTight := cfgFor(n)
 		cfgTight.Lease.MaxLeaseTime = 100
-		tight := Throughput(cfgTight, n, p.Warm, p.Window, longCS(100, 100))
+		rows2[i] = row2{
+			ok:    p.cell(cfgFor(n), n, longCS(20000, 20000)),
+			tight: p.cell(cfgTight, n, longCS(100, 100)),
+		}
+	}
+	for i, n := range p.Threads {
+		ok, tight := rows2[i].ok.Get(), rows2[i].tight.Get()
 		t2.Row(n, ok.MopsPerSec, tight.MopsPerSec,
 			float64(tight.Window.InvoluntaryReleases)/float64(max64(tight.Ops, 1)))
 	}
@@ -333,11 +464,18 @@ func runAblatePriority(w io.Writer, p Params) {
 	// waiters improperly hold the lease for a while after a failed
 	// try-lock, with and without prioritization.
 	t := NewTable("threads", "queueing Mops/s", "breaking Mops/s", "speedup", "broken/op")
-	for _, n := range p.Threads {
-		plain := Throughput(cfgFor(n), n, p.Warm, p.Window, ImproperLockWorkload())
+	type row struct{ plain, brk *Future[Result] }
+	rows := make([]row, len(p.Threads))
+	for i, n := range p.Threads {
 		cfgBrk := cfgFor(n)
 		cfgBrk.RegularBreaksLease = true
-		brk := Throughput(cfgBrk, n, p.Warm, p.Window, ImproperLockWorkload())
+		rows[i] = row{
+			plain: p.cell(cfgFor(n), n, ImproperLockWorkload()),
+			brk:   p.cell(cfgBrk, n, ImproperLockWorkload()),
+		}
+	}
+	for i, n := range p.Threads {
+		plain, brk := rows[i].plain.Get(), rows[i].brk.Get()
 		t.Row(n, plain.MopsPerSec, brk.MopsPerSec, ratio(brk.MopsPerSec, plain.MopsPerSec),
 			float64(brk.Window.BrokenLeases)/float64(max64(brk.Ops, 1)))
 	}
@@ -348,22 +486,30 @@ func runAblateMESI(w io.Writer, p Params) {
 	// MESI helps read-then-write patterns most: the low-contention sets
 	// (search, then update in place) and the base stack's load-then-CAS.
 	t := NewTable("workload", "threads", "msi Mops/s", "mesi Mops/s", "delta %")
-	for _, n := range p.Threads {
-		msi := Throughput(cfgFor(n), n, p.Warm, p.Window, SetWorkload(SetHash, 0, 1024, 512))
-		cfgM := cfgFor(n)
-		cfgM.MESI = true
-		mesi := Throughput(cfgM, n, p.Warm, p.Window, SetWorkload(SetHash, 0, 1024, 512))
-		t.Row("hashtable", n, msi.MopsPerSec, mesi.MopsPerSec,
-			100*(mesi.MopsPerSec-msi.MopsPerSec)/msi.MopsPerSec)
+	type row struct{ msi, mesi *Future[Result] }
+	cells := func(build func(n int) func(d *machine.Direct) OpFunc) []row {
+		rows := make([]row, len(p.Threads))
+		for i, n := range p.Threads {
+			cfgM := cfgFor(n)
+			cfgM.MESI = true
+			rows[i] = row{
+				msi:  p.cell(cfgFor(n), n, build(n)),
+				mesi: p.cell(cfgM, n, build(n)),
+			}
+		}
+		return rows
 	}
-	for _, n := range p.Threads {
-		msi := Throughput(cfgFor(n), n, p.Warm, p.Window, StackWorkload(ds.StackOptions{}))
-		cfgM := cfgFor(n)
-		cfgM.MESI = true
-		mesi := Throughput(cfgM, n, p.Warm, p.Window, StackWorkload(ds.StackOptions{}))
-		t.Row("stack-base", n, msi.MopsPerSec, mesi.MopsPerSec,
-			100*(mesi.MopsPerSec-msi.MopsPerSec)/msi.MopsPerSec)
+	hash := cells(func(int) func(d *machine.Direct) OpFunc { return SetWorkload(SetHash, 0, 1024, 512) })
+	stack := cells(func(int) func(d *machine.Direct) OpFunc { return StackWorkload(ds.StackOptions{}) })
+	emit := func(name string, rows []row) {
+		for i, n := range p.Threads {
+			msi, mesi := rows[i].msi.Get(), rows[i].mesi.Get()
+			t.Row(name, n, msi.MopsPerSec, mesi.MopsPerSec,
+				100*(mesi.MopsPerSec-msi.MopsPerSec)/msi.MopsPerSec)
+		}
 	}
+	emit("hashtable", hash)
+	emit("stack-base", stack)
 	t.Print(w)
 }
 
@@ -388,14 +534,21 @@ func runAblatePredictor(w io.Writer, p Params) {
 			}
 		}
 	}
-	for _, n := range p.Threads {
+	type row struct{ base, bad, pred *Future[Result] }
+	rows := make([]row, len(p.Threads))
+	for i, n := range p.Threads {
 		cfgBase := cfgFor(n)
 		cfgBase.Lease.MaxLeaseTime = 300
-		base := Throughput(cfgBase, n, p.Warm, p.Window, pathological(false))
-		bad := Throughput(cfgBase, n, p.Warm, p.Window, pathological(true))
 		cfgPred := cfgBase
 		cfgPred.Predictor.Enable = true
-		pred := Throughput(cfgPred, n, p.Warm, p.Window, pathological(true))
+		rows[i] = row{
+			base: p.cell(cfgBase, n, pathological(false)),
+			bad:  p.cell(cfgBase, n, pathological(true)),
+			pred: p.cell(cfgPred, n, pathological(true)),
+		}
+	}
+	for i, n := range p.Threads {
+		base, bad, pred := rows[i].base.Get(), rows[i].bad.Get(), rows[i].pred.Get()
 		t.Row(n, base.MopsPerSec, bad.MopsPerSec, pred.MopsPerSec,
 			float64(pred.Window.IgnoredLeases)/float64(max64(pred.Ops, 1)))
 	}
@@ -407,10 +560,17 @@ func runAblateAutoLease(w io.Writer, p Params) {
 	// automatic insertion should recover most of the manual-lease win
 	// without touching the data structure code.
 	t := NewTable("threads", "base Mops/s", "auto Mops/s", "manual Mops/s", "auto/manual")
-	for _, n := range p.Threads {
-		base := Throughput(cfgFor(n), n, p.Warm, p.Window, StackWorkload(ds.StackOptions{}))
-		auto := Throughput(cfgFor(n), n, p.Warm, p.Window, AutoStackWorkload())
-		manual := Throughput(cfgFor(n), n, p.Warm, p.Window, StackWorkload(ds.StackOptions{Lease: LeaseTime}))
+	type row struct{ base, auto, manual *Future[Result] }
+	rows := make([]row, len(p.Threads))
+	for i, n := range p.Threads {
+		rows[i] = row{
+			base:   p.cell(cfgFor(n), n, StackWorkload(ds.StackOptions{})),
+			auto:   p.cell(cfgFor(n), n, AutoStackWorkload()),
+			manual: p.cell(cfgFor(n), n, StackWorkload(ds.StackOptions{Lease: LeaseTime})),
+		}
+	}
+	for i, n := range p.Threads {
+		base, auto, manual := rows[i].base.Get(), rows[i].auto.Get(), rows[i].manual.Get()
 		t.Row(n, base.MopsPerSec, auto.MopsPerSec, manual.MopsPerSec,
 			ratio(auto.MopsPerSec, manual.MopsPerSec))
 	}
@@ -421,15 +581,35 @@ func runSnapshot(w io.Writer, p Params) {
 	// Half the threads write all words under a joint lease; half take
 	// 4-word snapshots. Snapshot counts/rounds are over warm+window.
 	t := NewTable("threads", "lease snaps", "dcollect snaps", "lease rounds/snap", "dcollect rounds/snap")
+	type snap struct{ attempts, snaps uint64 }
+	type row struct {
+		n            int
+		lease, dcoll *Future[snap]
+	}
+	var rows []row
 	for _, n := range p.Threads {
 		if n < 2 {
 			continue
 		}
-		var la, ls, da, dsnaps uint64
-		Throughput(cfgFor(n), n, p.Warm, p.Window, SnapshotWorkload(true, 4, &la, &ls))
-		Throughput(cfgFor(n), n, p.Warm, p.Window, SnapshotWorkload(false, 4, &da, &dsnaps))
-		t.Row(n, ls, dsnaps,
-			float64(la)/float64(max64(ls, 1)), float64(da)/float64(max64(dsnaps, 1)))
+		rows = append(rows, row{
+			n: n,
+			lease: Go(p.Pool, func() snap {
+				var s snap
+				Throughput(cfgFor(n), n, p.Warm, p.Window, SnapshotWorkload(true, 4, &s.attempts, &s.snaps))
+				return s
+			}),
+			dcoll: Go(p.Pool, func() snap {
+				var s snap
+				Throughput(cfgFor(n), n, p.Warm, p.Window, SnapshotWorkload(false, 4, &s.attempts, &s.snaps))
+				return s
+			}),
+		})
+	}
+	for _, r := range rows {
+		lease, dcoll := r.lease.Get(), r.dcoll.Get()
+		t.Row(r.n, lease.snaps, dcoll.snaps,
+			float64(lease.attempts)/float64(max64(lease.snaps, 1)),
+			float64(dcoll.attempts)/float64(max64(dcoll.snaps, 1)))
 	}
 	t.Print(w)
 }

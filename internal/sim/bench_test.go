@@ -1,0 +1,151 @@
+package sim
+
+import "testing"
+
+// The kernel microbenchmarks below are the tracked host-performance
+// baseline for the simulator (see EXPERIMENTS.md "Host performance"):
+// wall-clock ns/op here is nanoseconds of host time per simulated event
+// or per proc handoff. Run with
+//
+//	go test ./internal/sim -bench=. -benchmem
+//
+// and compare against the table recorded in EXPERIMENTS.md before
+// touching the engine or proc hot paths.
+
+// BenchmarkEventChainDelay1 measures the heap path: a chain of events
+// each scheduling its successor one cycle later, so the queue stays
+// shallow and every event pays one push and one pop.
+func BenchmarkEventChainDelay1(b *testing.B) {
+	e := NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(1, tick)
+		}
+	}
+	e.After(1, tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Drain(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkEventChainZeroDelay measures the same-cycle path: every event
+// schedules its successor with After(0), the dominant pattern in
+// coherence message hops and proc wakes.
+func BenchmarkEventChainZeroDelay(b *testing.B) {
+	e := NewEngine()
+	e.StallLimit = 0 // the chain intentionally stays at one cycle
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(0, tick)
+		}
+	}
+	e.After(0, tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Drain(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkEventQueueDepth256 measures heap churn at a realistic pending
+// depth: 256 in-flight events with deterministic pseudo-random delays
+// (coherence traffic across many lines), each pop scheduling one push.
+func BenchmarkEventQueueDepth256(b *testing.B) {
+	e := NewEngine()
+	rng := NewRNG(42)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(1+rng.Uint64n(64), tick)
+		}
+	}
+	for i := 0; i < 256; i++ {
+		e.After(1+rng.Uint64n(64), tick)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Drain(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkProcSyncSolo measures a lone proc advancing its clock with
+// Work(1)+Sync in a loop — the local-compute hot path of every simulated
+// thread. Nothing else is scheduled, so the engine has no reason to run
+// any other event between syncs.
+func BenchmarkProcSyncSolo(b *testing.B) {
+	e := NewEngine()
+	e.Spawn(0, 0, 1, func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Work(1)
+			p.Sync()
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Drain(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkProcSyncPingPong measures the full engine<->proc handoff: two
+// procs interleave cycle by cycle, so every Sync must park and be woken
+// by an engine event.
+func BenchmarkProcSyncPingPong(b *testing.B) {
+	e := NewEngine()
+	for id := 0; id < 2; id++ {
+		e.Spawn(id, 0, uint64(id+1), func(p *Proc) {
+			for i := 0; i < b.N; i++ {
+				p.Work(1)
+				p.Sync()
+			}
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Drain(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkProcBlockWake measures the Block/WakeAt handoff used by the
+// coherence protocol to resume a thread when its miss completes.
+func BenchmarkProcBlockWake(b *testing.B) {
+	e := NewEngine()
+	p := e.Spawn(0, 0, 1, func(p *Proc) {
+		for {
+			p.Block("bench wait")
+		}
+	})
+	n := 0
+	var tick func()
+	tick = func() {
+		p.WakeAt(e.Now())
+		n++
+		if n < b.N {
+			e.After(1, tick)
+		}
+	}
+	e.After(1, tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	// The proc blocks forever after the last wake, so a drained queue is
+	// reported as a (benign, expected) deadlock here.
+	if err := e.Run(uint64(b.N) + 2); err != nil {
+		if _, ok := err.(*DeadlockError); !ok {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	e.KillAll()
+}

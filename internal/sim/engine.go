@@ -2,13 +2,22 @@
 //
 // The kernel is sequential: events execute one at a time in global
 // (cycle, sequence) order, and simulated cores run as coroutines that are
-// woken by events and yield back to the engine before every action that can
-// observe or affect shared simulated state. Given fixed seeds, every run is
-// bit-for-bit reproducible.
+// woken by events and yield before every action that can observe or affect
+// shared simulated state. Exactly one actor — the Run caller or one proc —
+// executes at any instant, so given fixed seeds every run is bit-for-bit
+// reproducible.
+//
+// Scheduling uses direct switching: whichever goroutine currently holds the
+// execution token drives the event loop, and when the next event is another
+// proc's wake the token moves goroutine-to-goroutine in a single channel
+// handoff (when it is the driver's own wake, no handoff at all) instead of
+// bouncing through a central scheduler goroutine. The Run caller gets the
+// token back when the run is over. This halves — often eliminates — the
+// channel operations per proc wake, the dominant host cost of the
+// simulation.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"strings"
@@ -20,30 +29,118 @@ type Time = uint64
 // MaxTime is the largest representable simulated time.
 const MaxTime Time = math.MaxUint64
 
-// event is a scheduled callback.
+// event is a scheduled callback (p == nil) or a proc wake (p != nil; fn is
+// unused). Wakes are distinguished so the driver can hand the execution
+// token directly to the target proc instead of calling into it.
 type event struct {
 	at  Time
 	seq uint64 // tie-breaker: FIFO among events at the same cycle
 	fn  func()
+	p   *Proc
 }
 
+// before is the global event order: (cycle, sequence).
+func (a *event) before(b *event) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+// eventHeap is an inlined 4-ary min-heap of events ordered by (at, seq).
+// Compared to container/heap it avoids the interface{} boxing allocation on
+// every push and the indirect Less/Swap calls on every sift; the wider
+// fan-out halves the tree depth, trading cheap sibling compares (same cache
+// line) for expensive level hops.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (h *eventHeap) push(ev event) {
+	s := append(*h, ev)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !s[i].before(&s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
 	}
-	return h[i].seq < h[j].seq
+	*h = s
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	last := s[n]
+	s[n] = event{} // drop the fn/proc references so they can be collected
+	s = s[:n]
+	*h = s
+	if n > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			best := c
+			for j := c + 1; j < end; j++ {
+				if s[j].before(&s[best]) {
+					best = j
+				}
+			}
+			if !s[best].before(&last) {
+				break
+			}
+			s[i] = s[best]
+			i = best
+		}
+		s[i] = last
+	}
+	return top
+}
+
+// eventRing is a growable power-of-two ring buffer holding the same-cycle
+// FIFO: events scheduled for the current cycle (After(0, ...) — the
+// dominant case in coherence message hops and proc wakes) bypass the heap
+// and run in plain insertion order, which by construction is their
+// sequence order.
+type eventRing struct {
+	buf  []event // len(buf) is always a power of two (or zero)
+	head int
+	n    int
+}
+
+func (r *eventRing) push(ev event) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = ev
+	r.n++
+}
+
+func (r *eventRing) pop() event {
+	ev := r.buf[r.head]
+	r.buf[r.head] = event{}
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return ev
+}
+
+func (r *eventRing) grow() {
+	nb := make([]event, max2(16, 2*len(r.buf)))
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf, r.head = nb, 0
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // Engine is a sequential discrete-event simulator.
@@ -52,20 +149,28 @@ func (h *eventHeap) Pop() interface{} {
 type Engine struct {
 	now    Time
 	seq    uint64
-	events eventHeap
+	events eventHeap // future events, ordered by (at, seq)
+	fifo   eventRing // events at the current cycle, in insertion order
 	procs  []*Proc
 
 	// Stop condition: Run returns once now >= stopAt (events at later
 	// times stay queued).
 	stopAt Time
 
-	// fatal holds a proc goroutine's wrapped panic until the engine
-	// goroutine can re-raise it (see Proc and PanicError); curSeq is the
-	// sequence number of the event currently executing.
+	// home returns the execution token to the Run caller once a driver
+	// hits a stop condition; runErr carries that driver's verdict.
+	home   chan struct{}
+	runErr error
+
+	// fatal holds a proc goroutine's wrapped panic until the Run caller
+	// can re-raise it (see Proc and PanicError); curSeq is the sequence
+	// number of the event currently executing.
 	fatal  *PanicError
 	curSeq uint64
 
-	// EventCount is the total number of events executed so far.
+	// EventCount is the total number of events executed so far. A proc
+	// Sync that fast-forwards time (nothing else was due first) consumes
+	// no event and is not counted.
 	EventCount uint64
 
 	// StallLimit is the no-progress watchdog: the maximum number of
@@ -84,7 +189,8 @@ const DefaultStallLimit = 1 << 20
 
 // NewEngine returns an empty engine at time 0.
 func NewEngine() *Engine {
-	return &Engine{stopAt: MaxTime, StallLimit: DefaultStallLimit}
+	return &Engine{stopAt: MaxTime, StallLimit: DefaultStallLimit,
+		home: make(chan struct{})}
 }
 
 // Now returns the current simulated time.
@@ -92,12 +198,40 @@ func (e *Engine) Now() Time { return e.now }
 
 // At schedules fn to run at absolute time t. Scheduling in the past is an
 // error in the simulation logic and panics.
+//
+// Same-cycle events (t == Now()) go to the FIFO ring; future events go to
+// the heap. The two never disagree about order: every heap event at cycle
+// T was scheduled before the simulation reached T, so it carries a smaller
+// sequence number than any event the FIFO holds while the engine executes
+// cycle T, and the dispatch loop drains heap events at the current cycle
+// before FIFO ones.
 func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %d in the past (now %d)", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	ev := event{at: t, seq: e.seq, fn: fn}
+	if t == e.now {
+		e.fifo.push(ev)
+	} else {
+		e.events.push(ev)
+	}
+}
+
+// atProc schedules a wake for p at time t (same ordering rules as At, but
+// the event carries the proc instead of a callback, so waking allocates
+// nothing and the driver hands the token over directly).
+func (e *Engine) atProc(t Time, p *Proc) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling wake at %d in the past (now %d)", t, e.now))
+	}
+	e.seq++
+	ev := event{at: t, seq: e.seq, p: p}
+	if t == e.now {
+		e.fifo.push(ev)
+	} else {
+		e.events.push(ev)
+	}
 }
 
 // After schedules fn to run dt cycles from now.
@@ -127,46 +261,171 @@ func (s *StallError) Error() string {
 		s.Events, s.Time)
 }
 
+// next pops the next due event, advancing time and the watchdog counters.
+// Only the current token holder may call it. ok == false means the run is
+// over and e.runErr holds the verdict: nil (stop time reached or queue
+// drained cleanly), a *DeadlockError, or a *StallError.
+func (e *Engine) next() (event, bool) {
+	var ev event
+	if e.fifo.n > 0 {
+		// Same-cycle work pending. Heap events at this cycle were
+		// scheduled earlier (smaller seq) and run first.
+		if e.now >= e.stopAt {
+			e.runErr = nil // keep them queued for a later Run
+			return event{}, false
+		}
+		if len(e.events) > 0 && e.events[0].at == e.now {
+			ev = e.events.pop()
+		} else {
+			ev = e.fifo.pop()
+		}
+	} else if len(e.events) > 0 {
+		if e.events[0].at >= e.stopAt {
+			if e.stopAt > e.now {
+				e.now = e.stopAt
+			}
+			e.runErr = nil
+			return event{}, false
+		}
+		ev = e.events.pop()
+		if ev.at > e.now {
+			e.stallEvents = 0
+			e.now = ev.at
+		}
+	} else {
+		if blocked := e.Blocked(); len(blocked) > 0 {
+			e.runErr = &DeadlockError{Time: e.now, Blocked: blocked}
+		} else {
+			e.runErr = nil
+		}
+		return event{}, false
+	}
+	e.EventCount++
+	e.stallEvents++
+	if e.StallLimit > 0 && e.stallEvents > e.StallLimit {
+		e.runErr = &StallError{Time: e.now, Events: e.stallEvents}
+		return event{}, false
+	}
+	return ev, true
+}
+
 // Run executes events in order until either the event queue drains or
 // simulated time reaches until. It returns a *DeadlockError if the queue
 // drains while some procs remain blocked (a genuine simulated deadlock),
 // a *StallError if the StallLimit watchdog detects a livelock, and nil
 // otherwise.
 //
-// Any panic escaping simulation code — an event callback or a proc
-// goroutine — is re-raised out of Run on the caller's goroutine as a
-// *PanicError carrying the simulated cycle, event sequence number, and
-// proc id, so a harness can recover it with full sim context.
+// Run drives the event loop on the calling goroutine until the first proc
+// wake, hands the execution token to that proc, and waits for the token to
+// come home; from then on the loop runs on whichever proc goroutine holds
+// the token (see Engine.drive). Any panic escaping simulation code — an
+// event callback or a proc goroutine — is re-raised out of Run on the
+// caller's goroutine as a *PanicError carrying the simulated cycle, event
+// sequence number, and proc id, so a harness can recover it with full sim
+// context.
 func (e *Engine) Run(until Time) error {
 	e.stopAt = until
-	for len(e.events) > 0 {
-		if e.events[0].at >= e.stopAt {
-			e.now = e.stopAt
-			return nil
+	e.runErr = nil
+	for {
+		ev, ok := e.next()
+		if !ok {
+			break
 		}
-		ev := heap.Pop(&e.events).(event)
-		if ev.at > e.now {
-			e.stallEvents = 0
+		if ev.p == nil {
+			e.exec(ev)
+			continue
 		}
-		e.now = ev.at
-		e.EventCount++
-		e.stallEvents++
-		if e.StallLimit > 0 && e.stallEvents > e.StallLimit {
-			return &StallError{Time: e.now, Events: e.stallEvents}
+		q := ev.p
+		if q.state == procDone {
+			continue // stale wake for a finished proc
 		}
-		e.exec(ev)
+		e.curSeq = ev.seq
+		q.state = procRunning
+		q.resume <- ev.at // hand the token to q ...
+		<-e.home          // ... and wait for the run to end
+		break
 	}
-	var blocked []string
-	for _, p := range e.procs {
-		if p.state == procBlocked {
-			blocked = append(blocked, p.describe())
-		}
+	if e.fatal != nil {
+		pe := e.fatal
+		e.fatal = nil
+		panic(pe)
 	}
-	if len(blocked) > 0 {
-		return &DeadlockError{Time: e.now, Blocked: blocked}
-	}
-	return nil
+	return e.runErr
 }
+
+// drive runs the event loop on a parked proc's goroutine (the token
+// holder) until the proc's own wake pops, returning the wake time. Another
+// proc's wake hands the token to that proc in a single channel send — the
+// Run caller is not involved — after which self waits to be resumed the
+// same way. A stop condition sends the token home (Run returns) and leaves
+// self parked for a later Run.
+func (e *Engine) drive(self *Proc) Time {
+	for {
+		ev, ok := e.next()
+		if !ok {
+			e.sendHome()
+			return <-self.resume
+		}
+		if ev.p == nil {
+			e.exec(ev)
+			continue
+		}
+		q := ev.p
+		if q.state == procDone {
+			continue
+		}
+		e.curSeq = ev.seq
+		if q == self {
+			return ev.at // own wake: keep the token, no handoff at all
+		}
+		q.state = procRunning
+		q.resume <- ev.at
+		return <-self.resume
+	}
+}
+
+// driveDetached runs the event loop on a completed proc's goroutine, which
+// still holds the token but is about to exit: it drives until the token
+// can move to another proc or go home. An event panic here has no user
+// stack to unwind through, so it is captured like a proc panic and
+// re-raised by Run.
+func (e *Engine) driveDetached() {
+	defer func() {
+		if r := recover(); r != nil {
+			pe, ok := r.(*PanicError)
+			if !ok {
+				pe = &PanicError{Cycle: e.now, EventSeq: e.curSeq, ProcID: -1,
+					Value: r, Stack: stack()}
+			}
+			e.fatal = pe
+			e.sendHome()
+		}
+	}()
+	for {
+		ev, ok := e.next()
+		if !ok {
+			e.sendHome()
+			return
+		}
+		if ev.p == nil {
+			e.exec(ev)
+			continue
+		}
+		q := ev.p
+		if q.state == procDone {
+			continue
+		}
+		e.curSeq = ev.seq
+		q.state = procRunning
+		q.resume <- ev.at
+		return
+	}
+}
+
+// sendHome returns the execution token to the Run caller. The caller is
+// always waiting: the token only ever leaves Run's goroutine via its own
+// handoff, after which it blocks on home.
+func (e *Engine) sendHome() { e.home <- struct{}{} }
 
 // exec runs one event, wrapping any escaping panic in a *PanicError so it
 // reaches Run's caller with sim context attached.
@@ -188,7 +447,7 @@ func (e *Engine) exec(ev event) {
 func (e *Engine) Drain() error { return e.Run(MaxTime) }
 
 // Pending returns the number of queued (not yet executed) events.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.events) + e.fifo.n }
 
 // Blocked describes every currently blocked proc (diagnostics; the same
 // strings a DeadlockError would carry).

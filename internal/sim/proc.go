@@ -6,14 +6,16 @@ type procState int
 
 const (
 	procCreated procState = iota
-	procRunning           // currently executing (engine is parked)
+	procRunning           // currently executing (all other actors are parked)
 	procBlocked           // waiting for an external wake (coherence reply, ...)
 	procDone
 )
 
 // Proc is a simulated hardware context (one in-order core running one
-// thread). Proc code runs on its own goroutine, but the engine and all
-// procs alternate strictly: exactly one of them executes at any instant.
+// thread). Proc code runs on its own goroutine, but exactly one actor —
+// the Run caller or one proc — executes at any instant: a single
+// "execution token" moves between them (see Engine.drive), so all engine
+// and simulated state is accessed race-free without locks.
 //
 // A proc keeps a local clock that it advances as it "executes". Before any
 // action that can touch shared simulated state it must call Sync, which
@@ -26,8 +28,11 @@ type Proc struct {
 	clock Time
 	state procState
 
-	resume chan Time     // engine -> proc, carries the wake time
-	yield  chan struct{} // proc -> engine
+	// resume delivers the execution token (and the wake time) to a parked
+	// proc: from the driver that popped its wake event, or from Kill.
+	resume chan Time
+	// yield hands control back to Kill after a killed proc unwinds.
+	yield chan struct{}
 
 	blockReason string
 	blockSince  Time
@@ -36,6 +41,11 @@ type Proc struct {
 
 	rng RNG
 }
+
+// scheduleWake schedules the proc's (single) pending wake at time t. A
+// proc is parked from when its wake is scheduled until it fires, so there
+// is never more than one outstanding wake per proc.
+func (p *Proc) scheduleWake(t Time) { p.eng.atProc(t, p) }
 
 // killToken unwinds a killed proc's goroutine through a panic that the
 // Spawn wrapper recovers.
@@ -59,8 +69,8 @@ func (e *Engine) Spawn(id int, start Time, seed uint64, fn func(*Proc)) *Proc {
 				if _, ok := r.(killToken); !ok {
 					// A panic here is on the proc goroutine, where no
 					// harness can recover it. Wrap it with sim context
-					// and hand it to the engine, which re-raises it on
-					// its own goroutine (see Engine.dispatch).
+					// and hand it to the Run caller, which re-raises it
+					// on its own goroutine (see Engine.Run).
 					pe, ok := r.(*PanicError)
 					if !ok {
 						pe = &PanicError{ProcID: p.ID, Cycle: e.now,
@@ -71,7 +81,19 @@ func (e *Engine) Spawn(id int, start Time, seed uint64, fn func(*Proc)) *Proc {
 				}
 			}
 			p.state = procDone
-			p.yield <- struct{}{}
+			if p.killed {
+				p.yield <- struct{}{} // hand control back to Kill
+				return
+			}
+			if e.fatal != nil {
+				// Abort the run: send the token home; Run re-raises.
+				e.sendHome()
+				return
+			}
+			// Normal completion: this goroutine still holds the execution
+			// token, so it keeps driving the simulation until the token
+			// can move to another actor, then exits.
+			e.driveDetached()
 		}()
 		t := <-p.resume
 		p.clock = t
@@ -81,36 +103,25 @@ func (e *Engine) Spawn(id int, start Time, seed uint64, fn func(*Proc)) *Proc {
 	}()
 	p.state = procBlocked
 	p.blockReason = "waiting to start"
-	e.At(start, func() { e.dispatch(p, start) })
+	p.scheduleWake(start)
 	return p
 }
 
-// dispatch hands control to p until it yields again. Must run inside an
-// engine event. If the proc's goroutine died in a panic, the wrapped
-// *PanicError is re-raised here — on the engine goroutine — so it unwinds
-// through Run to a caller that can recover it.
-func (e *Engine) dispatch(p *Proc, t Time) {
-	if p.state == procDone {
-		return
-	}
-	p.state = procRunning
-	p.resume <- t
-	<-p.yield
-	if e.fatal != nil {
-		pe := e.fatal
-		e.fatal = nil
-		panic(pe)
-	}
-}
-
-// park yields control back to the engine and blocks until woken, returning
-// the wake time.
+// park records the proc as blocked and drives the engine until the proc's
+// own wake fires (possibly after handing the token to other procs in
+// between), returning the wake time.
 func (p *Proc) park(reason string) Time {
+	if p.killed {
+		// The killToken unwind can run user defers (e.g. a deferred
+		// Unlock) that re-enter the simulation; the engine is idle and
+		// being torn down, so parking would hang. Pretend the wait
+		// completed instantly.
+		return p.clock
+	}
 	p.state = procBlocked
 	p.blockReason = reason
-	p.blockSince = p.eng.Now()
-	p.yield <- struct{}{}
-	t := <-p.resume
+	p.blockSince = p.eng.now
+	t := p.eng.drive(p)
 	if p.killed {
 		panic(killToken{})
 	}
@@ -142,18 +153,33 @@ func (e *Engine) KillAll() {
 // Sync parks the proc until global time reaches its local clock. After
 // Sync returns, eng.Now() == p.Clock() and the proc may safely perform an
 // action on shared simulated state timestamped at its local clock.
+//
+// Fast path: when nothing else is scheduled before the proc's local
+// clock, parking would only make the proc's own wake the next event
+// executed, so the proc advances global time itself and keeps running —
+// no event, no handoff. This is safe (the proc holds the execution token,
+// so it has exclusive access to engine state) and exactly
+// order-preserving: the wake it skips would have been the next event.
 func (p *Proc) Sync() {
-	if p.clock < p.eng.Now() {
+	e := p.eng
+	if p.killed {
+		return // unwinding defers must not schedule wakes or move time
+	}
+	if p.clock < e.now {
 		// The proc fell behind global time (it was woken by an event
 		// that completed later than its local clock): jump forward.
-		p.clock = p.eng.Now()
+		p.clock = e.now
 		return
 	}
-	if p.clock == p.eng.Now() {
+	if p.clock == e.now {
 		return
 	}
-	e, t := p.eng, p.clock
-	e.At(t, func() { e.dispatch(p, t) })
+	if e.fifo.n == 0 && (len(e.events) == 0 || e.events[0].at > p.clock) && p.clock < e.stopAt {
+		e.now = p.clock
+		e.stallEvents = 0
+		return
+	}
+	p.scheduleWake(p.clock)
 	p.clock = p.park("advancing clock")
 }
 
@@ -167,10 +193,7 @@ func (p *Proc) Block(reason string) Time {
 
 // WakeAt schedules p (which must be blocked via Block) to resume at time t.
 // It must be called from engine context, i.e. inside an event callback.
-func (p *Proc) WakeAt(t Time) {
-	e := p.eng
-	e.At(t, func() { e.dispatch(p, t) })
-}
+func (p *Proc) WakeAt(t Time) { p.scheduleWake(t) }
 
 // Clock returns the proc's local time.
 func (p *Proc) Clock() Time { return p.clock }
