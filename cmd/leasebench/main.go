@@ -9,6 +9,15 @@
 //	leasebench -exp fig2
 //	leasebench -exp all [-quick] [-threads 2,4,8] [-window 1500000]
 //	leasebench -exp all -quick -parallel 4 -perfjson BENCH_host.json
+//	leasebench -exp all -serve :9090
+//	leasebench -compare old.json new.json [-threshold 5]
+//
+// -compare diffs two `leasesim -json` report files per configuration
+// (ops, throughput, latency percentiles, messages per op); changes that
+// regress by more than -threshold percent are marked '!' and the exit
+// status is 1 when any exist. -serve exposes live sweep introspection
+// (per-experiment cell progress, pool occupancy, simulated-cycles/s) over
+// HTTP while experiments run; see cmd/leasesim for the endpoints.
 //
 // Sweep cells — one (experiment, thread count, variant) measurement each —
 // run on a host worker pool (-parallel, default GOMAXPROCS). Each cell
@@ -80,6 +89,10 @@ func main() {
 		window  = flag.Uint64("window", 0, "measurement window cycles (override)")
 		strict  = flag.Bool("strict", false, "abort at the first failed experiment")
 
+		compare   = flag.Bool("compare", false, "compare two leasesim -json report files: leasebench -compare old.json new.json")
+		threshold = flag.Float64("threshold", 5, "with -compare, highlight regressions beyond this percentage (0 disables)")
+		serveAddr = flag.String("serve", "", "serve live sweep introspection over HTTP on this address (e.g. :9090)")
+
 		parallel = flag.Int("parallel", 0, "worker pool size for sweep cells (0 = GOMAXPROCS, 1 = serial)")
 		perfjson = flag.String("perfjson", "", "write per-experiment wall-clock times as JSON to this file")
 		perfbase = flag.String("perfbase", "", "baseline perfjson file to compute speedups against")
@@ -91,6 +104,27 @@ func main() {
 	if *list {
 		for _, e := range bench.All() {
 			fmt.Printf("%-20s %s\n", e.ID, e.Paper)
+		}
+		return
+	}
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "leasebench: -compare wants exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		oldReps, err := bench.ReadReportFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "leasebench: -compare: %v\n", err)
+			os.Exit(2)
+		}
+		newReps, err := bench.ReadReportFile(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "leasebench: -compare: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("## compare %s -> %s\n", flag.Arg(0), flag.Arg(1))
+		if bench.CompareReports(os.Stdout, oldReps, newReps, *threshold) > 0 {
+			os.Exit(1)
 		}
 		return
 	}
@@ -123,6 +157,16 @@ func main() {
 
 	stopProfiles := startProfiles(*cpuprof, *memprof)
 	p.Pool = bench.NewPool(*parallel)
+	if *serveAddr != "" {
+		p.Progress = bench.NewProgress()
+		p.Progress.SetPool(p.Pool)
+		addr, err := p.Progress.Serve(*serveAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "leasebench: -serve: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "leasebench: introspection on http://%s (/progress /metrics /debug/vars)\n", addr)
+	}
 	perf := &PerfReport{
 		SchemaVersion: 1,
 		GoVersion:     runtime.Version(),
@@ -160,7 +204,9 @@ func main() {
 			perf.TotalWallSeconds += wall
 			fmt.Printf("(wall time %.1fs)\n\n", wall)
 		}()
-		e.Run(os.Stdout, p)
+		pe := p
+		pe.Exp = e.ID // progress cells report as "<exp>/tN"
+		e.Run(os.Stdout, pe)
 		return true
 	}
 

@@ -22,10 +22,17 @@
 // (seeded from -seed, so failures replay exactly).
 //
 // Every run records telemetry (latency/hold-time/queue histograms and the
-// per-line contention profile). -json switches the report to machine-
-// readable JSON; -timeline additionally writes a Chrome trace-event file
-// loadable in chrome://tracing or https://ui.perfetto.dev showing each
-// core's lease intervals on the simulated timeline.
+// per-line contention profile). -spans additionally records per-coherence-
+// transaction spans and reports the critical-path cycle accounting ("where
+// the cycles went"); -json switches the report to machine-readable JSON;
+// -timeline additionally writes a Chrome trace-event file loadable in
+// chrome://tracing or https://ui.perfetto.dev showing each core's lease
+// intervals — and, with spans, nested transaction slices with flow arrows —
+// on the simulated timeline.
+// -serve binds a host-side HTTP endpoint with live sweep introspection
+// (/progress JSON, /metrics Prometheus text, /debug/vars expvar): per-cell
+// progress, worker-pool occupancy, and simulated-cycles/s. It is safe
+// alongside -parallel and never perturbs simulated timing.
 // -cpuprofile/-memprofile capture pprof profiles of the host process.
 package main
 
@@ -84,6 +91,8 @@ func main() {
 		invariants = flag.Bool("invariants", false, "attach the runtime invariant checker (violations fail the run)")
 		faultsOn   = flag.Bool("faults", false, "enable deterministic protocol-legal fault injection")
 		strict     = flag.Bool("strict", false, "abort the sweep at the first failed cell")
+		spans      = flag.Bool("spans", false, "trace coherence-transaction spans and report the cycle accounting")
+		serveAddr  = flag.String("serve", "", "serve live sweep introspection over HTTP on this address (e.g. :9090)")
 
 		parallel = flag.Int("parallel", 0, "worker pool size for sweep cells (0 = GOMAXPROCS, 1 = serial)")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -113,6 +122,18 @@ func main() {
 		os.Exit(code)
 	}
 
+	var prog *bench.Progress // nil (inert) unless -serve is set
+	if *serveAddr != "" {
+		prog = bench.NewProgress()
+		prog.SetPool(pool)
+		addr, err := prog.Serve(*serveAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "leasesim: -serve: %v\n", err)
+			exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "leasesim: introspection on http://%s (/progress /metrics /debug/vars)\n", addr)
+	}
+
 	// Submit every cell first, then emit buffered results in sweep order:
 	// output is byte-identical to a serial run for any -parallel value.
 	type cellResult struct {
@@ -132,6 +153,8 @@ func main() {
 			predictor: *predictor, multi: *multi, seed: *seed,
 			jsonOut: *jsonOut, hotlines: *hotlines, timeline: tl,
 			samples: *samples, invariants: *invariants, faults: *faultsOn,
+			spans:    *spans,
+			progress: prog.Cell(fmt.Sprintf("%s/t%d", *dsName, n)),
 		}
 		futures[i] = bench.Go(pool, func() cellResult {
 			var out, errOut bytes.Buffer
@@ -175,6 +198,8 @@ type cell struct {
 	timeline            string
 	samples             int
 	invariants, faults  bool
+	spans               bool
+	progress            *bench.CellProgress
 }
 
 func validDS(name string) bool {
@@ -268,6 +293,11 @@ func runCell(c cell, out, errOut io.Writer) bool {
 	if c.timeline != "" {
 		rec.EnableTimeline(float64(cfg.ClockHz) / 1e6) // cycles per µs
 	}
+	if c.spans || c.timeline != "" {
+		rec.EnableSpans() // with -timeline, spans become nested txn slices
+	}
+	c.progress.Start()
+	defer c.progress.Done()
 	var hooks []func(*machine.Machine)
 	if c.trace > 0 {
 		left := c.trace
@@ -281,7 +311,8 @@ func runCell(c cell, out, errOut io.Writer) bool {
 		})
 	}
 	r := bench.ThroughputOpts(cfg, c.threads, c.warm, c.cycles, build,
-		bench.Options{Recorder: rec, Samples: c.samples, Hooks: hooks, Invariants: c.invariants})
+		bench.Options{Recorder: rec, Samples: c.samples, Hooks: hooks,
+			Invariants: c.invariants, Progress: c.progress})
 
 	if r.Err != nil {
 		fmt.Fprintf(errOut, "leasesim: ds=%s threads=%d seed=%d FAILED (%s): %s\n",
@@ -352,13 +383,39 @@ func runCell(c cell, out, errOut io.Writer) bool {
 	printDist("probe defer", r.ProbeDefer)
 	printDist("dir queue", r.DirQueue)
 
+	if t := r.Txns; t != nil && t.Count > 0 {
+		fmt.Fprintf(out, "\ntransaction cycle accounting (%d txns, %d deferred):\n",
+			t.Count, t.Deferred)
+		printPhases := func(total uint64, ph telemetry.TxnPhases) {
+			for i, v := range ph.Vec() {
+				pct := 0.0
+				if total > 0 {
+					pct = 100 * float64(v) / float64(total)
+				}
+				fmt.Fprintf(out, "  %-14s %14d cycles %6.1f%%\n", telemetry.Phase(i), v, pct)
+			}
+		}
+		fmt.Fprintf(out, "span critical path (%d cycles):\n", t.TotalCycles)
+		printPhases(t.TotalCycles, t.Phases)
+		if t.Ops > 0 && t.OpPhases != nil {
+			fmt.Fprintf(out, "measured ops (%d ops, %d cycles; %d in txns, %d l1+compute):\n",
+				t.Ops, t.OpCycles, t.OpTxnCycles, t.OpOtherCycles)
+			printPhases(t.OpCycles, *t.OpPhases)
+			pct := 0.0
+			if t.OpCycles > 0 {
+				pct = 100 * float64(t.OpOtherCycles) / float64(t.OpCycles)
+			}
+			fmt.Fprintf(out, "  %-14s %14d cycles %6.1f%%\n", "l1+compute", t.OpOtherCycles, pct)
+		}
+	}
+
 	if c.hotlines > 0 && rec.Lines.Len() > 0 {
 		fmt.Fprintf(out, "\nhot lines (top %d of %d):\n", c.hotlines, rec.Lines.Len())
-		fmt.Fprintf(out, "%-12s %10s %10s %8s %10s %8s %8s\n",
-			"line", "score", "msgs", "invals", "deferred", "leases", "maxdirq")
+		fmt.Fprintf(out, "%-12s %10s %10s %8s %10s %10s %8s %8s\n",
+			"line", "score", "msgs", "invals", "deferred", "defcycles", "leases", "maxdirq")
 		for _, h := range bench.HotLineRows(rec, c.hotlines) {
-			fmt.Fprintf(out, "%-12s %10d %10d %8d %10d %8d %8d\n",
-				h.Line, h.Score, h.Msgs, h.Invals, h.Deferred, h.Leases, h.MaxQueue)
+			fmt.Fprintf(out, "%-12s %10d %10d %8d %10d %10d %8d %8d\n",
+				h.Line, h.Score, h.Msgs, h.Invals, h.Deferred, h.DeferredCycles, h.Leases, h.MaxQueue)
 		}
 	}
 

@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// This file implements `leasebench -compare old.json new.json`: a
+// per-configuration delta table between two `leasesim -json` report files,
+// with regressions beyond a threshold highlighted and counted so CI can
+// fail on them.
+
+// ReadReportFile loads all reports from one `leasesim -json` output file.
+// Both shapes are accepted: a JSON array of reports, or the stream of
+// concatenated objects a -threads sweep emits.
+func ReadReportFile(path string) ([]Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	reps, err := readReports(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(reps) == 0 {
+		return nil, fmt.Errorf("%s: no reports", path)
+	}
+	return reps, nil
+}
+
+func readReports(data []byte) ([]Report, error) {
+	var arr []Report
+	if err := json.Unmarshal(data, &arr); err == nil {
+		return arr, nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	var out []Report
+	for {
+		var rep Report
+		if err := dec.Decode(&rep); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// compareKey identifies one configuration across the two files.
+type compareKey struct {
+	DS      string
+	Threads int
+	Lease   bool
+}
+
+func (k compareKey) String() string {
+	mode := "nolease"
+	if k.Lease {
+		mode = "lease"
+	}
+	return fmt.Sprintf("%s/t%d/%s", k.DS, k.Threads, mode)
+}
+
+// deltaPct returns the relative change new-vs-old in percent; 0 when the
+// old value is 0 (no meaningful baseline).
+func deltaPct(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return 100 * (new - old) / old
+}
+
+// fmtDelta renders a signed percentage column, flagging regressions.
+// higherIsBetter says which direction counts as a regression; beyond
+// thresholdPct the cell is marked with '!' and counted.
+func fmtDelta(pct float64, higherIsBetter bool, thresholdPct float64, regressions *int) string {
+	s := fmt.Sprintf("%+.1f%%", pct)
+	bad := pct < -thresholdPct
+	if !higherIsBetter {
+		bad = pct > thresholdPct
+	}
+	if bad && thresholdPct > 0 {
+		*regressions++
+		s += " !"
+	}
+	return s
+}
+
+// CompareReports prints a per-configuration delta table (ops, throughput,
+// latency percentiles, messages/op) between two report sets, matching rows
+// on (ds, threads, lease). Metrics whose relative change regresses by more
+// than thresholdPct are marked with '!'; the count of such regressions is
+// returned (0 when thresholdPct is 0, i.e. highlighting disabled).
+func CompareReports(w io.Writer, old, new []Report, thresholdPct float64) int {
+	oldBy := make(map[compareKey]*Report, len(old))
+	for i := range old {
+		r := &old[i]
+		oldBy[compareKey{r.DS, r.Threads, r.Lease}] = r
+	}
+
+	regressions := 0
+	t := NewTable("config", "ops", "Δops", "Mops/s", "ΔMops/s",
+		"p50", "Δp50", "p99", "Δp99", "msgs/op", "Δmsgs/op")
+	matched := 0
+	for i := range new {
+		n := &new[i]
+		k := compareKey{n.DS, n.Threads, n.Lease}
+		o, ok := oldBy[k]
+		if !ok {
+			t.Row(k.String(), n.Ops, "(new)", n.MopsPerSec, "-",
+				latP50(n), "-", latP99(n), "-", n.MsgsPerOp, "-")
+			continue
+		}
+		matched++
+		delete(oldBy, k)
+		t.Row(k.String(),
+			n.Ops, fmtDelta(deltaPct(float64(o.Ops), float64(n.Ops)), true, thresholdPct, &regressions),
+			n.MopsPerSec, fmtDelta(deltaPct(o.MopsPerSec, n.MopsPerSec), true, thresholdPct, &regressions),
+			latP50(n), fmtDelta(deltaPct(float64(latP50(o)), float64(latP50(n))), false, thresholdPct, &regressions),
+			latP99(n), fmtDelta(deltaPct(float64(latP99(o)), float64(latP99(n))), false, thresholdPct, &regressions),
+			n.MsgsPerOp, fmtDelta(deltaPct(o.MsgsPerOp, n.MsgsPerOp), false, thresholdPct, &regressions),
+		)
+	}
+	for _, k := range sortedKeys(oldBy) {
+		t.Row(k.String(), "-", "(dropped)", "-", "-", "-", "-", "-", "-", "-", "-")
+	}
+	t.Print(w)
+	fmt.Fprintf(w, "\n%d configs compared", matched)
+	if thresholdPct > 0 {
+		fmt.Fprintf(w, ", %d regressions beyond %.1f%% (marked '!')", regressions, thresholdPct)
+	}
+	fmt.Fprintln(w)
+	return regressions
+}
+
+// sortedKeys returns the map's keys in deterministic (string) order.
+func sortedKeys(m map[compareKey]*Report) []compareKey {
+	keys := make([]compareKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j].String() < keys[j-1].String(); j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+func latP50(r *Report) uint64 {
+	if r.OpLatency == nil {
+		return 0
+	}
+	return r.OpLatency.P50
+}
+
+func latP99(r *Report) uint64 {
+	if r.OpLatency == nil {
+		return 0
+	}
+	return r.OpLatency.P99
+}

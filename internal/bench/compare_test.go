@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"leaserelease/internal/telemetry"
+)
+
+func compareRep(ds string, threads int, lease bool, ops uint64, mops float64,
+	p50, p99 uint64, msgs float64) Report {
+	return Report{
+		DS: ds, Threads: threads, Lease: lease,
+		Ops: ops, MopsPerSec: mops, MsgsPerOp: msgs,
+		OpLatency: &telemetry.Summary{Count: ops, P50: p50, P99: p99},
+	}
+}
+
+// readReports accepts both shapes `leasesim -json` can produce: the
+// concatenated object stream of a sweep, and a JSON array.
+func TestReadReportsBothShapes(t *testing.T) {
+	stream := []byte(`{"ds":"counter","threads":2,"ops":10}
+{"ds":"counter","threads":4,"ops":20}`)
+	reps, err := readReports(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 || reps[0].Threads != 2 || reps[1].Ops != 20 {
+		t.Fatalf("stream decoded to %+v", reps)
+	}
+
+	arr := []byte(`[{"ds":"stack","threads":8,"ops":5}]`)
+	reps, err = readReports(arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 1 || reps[0].DS != "stack" {
+		t.Fatalf("array decoded to %+v", reps)
+	}
+
+	if _, err := readReports([]byte(`not json`)); err == nil {
+		t.Error("garbage input decoded without error")
+	}
+}
+
+// CompareReports matches rows on (ds, threads, lease), renders the delta
+// table, and counts metric changes that regress beyond the threshold.
+func TestCompareReportsRegressions(t *testing.T) {
+	old := []Report{
+		compareRep("counter", 4, true, 1000, 10.0, 100, 500, 8.0),
+		compareRep("counter", 8, true, 900, 9.0, 120, 600, 9.0),
+		compareRep("stack", 4, false, 500, 5.0, 200, 900, 12.0),
+	}
+	cur := []Report{
+		// ops -20% and p99 +40%: two regressions beyond 5%.
+		compareRep("counter", 4, true, 800, 10.1, 101, 700, 8.1),
+		// All within threshold.
+		compareRep("counter", 8, true, 910, 9.1, 118, 590, 9.05),
+		// New config (no baseline).
+		compareRep("queue", 4, true, 300, 3.0, 150, 400, 6.0),
+	}
+
+	var buf bytes.Buffer
+	got := CompareReports(&buf, old, cur, 5)
+	out := buf.String()
+
+	if got != 2 {
+		t.Errorf("regressions = %d, want 2\n%s", got, out)
+	}
+	for _, want := range []string{
+		"counter/t4/lease", "counter/t8/lease",
+		"queue/t4/lease", "(new)",
+		"stack/t4/nolease", "(dropped)",
+		"-20.0% !", "+40.0% !",
+		"2 configs compared, 2 regressions beyond 5.0%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Threshold 0 disables highlighting entirely.
+	buf.Reset()
+	if got := CompareReports(&buf, old, cur, 0); got != 0 {
+		t.Errorf("threshold 0 still reported %d regressions", got)
+	}
+	if strings.Contains(buf.String(), "!") {
+		t.Errorf("threshold 0 still marked regressions:\n%s", buf.String())
+	}
+}

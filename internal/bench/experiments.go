@@ -23,6 +23,20 @@ type Params struct {
 	// private simulated machine, and rows are emitted in serial order, so
 	// output is byte-identical for any pool size. nil means serial.
 	Pool *Pool
+
+	// Exp names the experiment currently sweeping (for progress cell
+	// labels); Progress, when non-nil, receives live per-cell progress
+	// for the -serve introspection endpoint. Both are host-side only.
+	Exp      string
+	Progress *Progress
+}
+
+// cellName labels one sweep cell for live introspection.
+func (p Params) cellName(n int) string {
+	if p.Exp == "" {
+		return fmt.Sprintf("t%d", n)
+	}
+	return fmt.Sprintf("%s/t%d", p.Exp, n)
 }
 
 // FullParams reproduces the paper's sweeps (2..64 threads, Fig. 2 also 1).
@@ -80,13 +94,23 @@ func cfgFor(threads int) machine.Config { return machine.DefaultConfig(threads) 
 
 // cell submits one plain throughput measurement as a pool cell.
 func (p Params) cell(cfg machine.Config, n int, build func(d *machine.Direct) OpFunc) *Future[Result] {
-	return Go(p.Pool, func() Result { return Throughput(cfg, n, p.Warm, p.Window, build) })
+	cp := p.Progress.Cell(p.cellName(n))
+	return Go(p.Pool, func() Result {
+		cp.Start()
+		defer cp.Done()
+		return ThroughputOpts(cfg, n, p.Warm, p.Window, build, Options{Progress: cp})
+	})
 }
 
-// mcell submits one telemetry-enabled measurement (latency digests) as a
-// pool cell.
+// mcell submits one telemetry-enabled measurement (latency digests plus
+// transaction-span cycle accounting) as a pool cell.
 func (p Params) mcell(cfg machine.Config, n int, build func(d *machine.Direct) OpFunc) *Future[Result] {
-	return Go(p.Pool, func() Result { return measured(cfg, n, p, build) })
+	cp := p.Progress.Cell(p.cellName(n))
+	return Go(p.Pool, func() Result {
+		cp.Start()
+		defer cp.Done()
+		return measured(cfg, n, p, build, cp)
+	})
 }
 
 func runTable1(w io.Writer, p Params) {
@@ -105,10 +129,14 @@ func runTable1(w io.Writer, p Params) {
 }
 
 // measured runs a telemetry-enabled throughput measurement so experiments
-// can report latency distributions (p50/p90/p99) alongside means.
-func measured(cfg machine.Config, n int, p Params, build func(d *machine.Direct) OpFunc) Result {
+// can report latency distributions (p50/p90/p99) and critical-path cycle
+// accounting (Result.Txns) alongside means. Telemetry is host-side only,
+// so the simulated numbers are byte-identical to an unmeasured run.
+func measured(cfg machine.Config, n int, p Params, build func(d *machine.Direct) OpFunc, cp *CellProgress) Result {
+	rec := telemetry.NewRecorder()
+	rec.EnableSpans()
 	return ThroughputOpts(cfg, n, p.Warm, p.Window, build,
-		Options{Recorder: telemetry.NewRecorder()})
+		Options{Recorder: rec, Progress: cp})
 }
 
 func runFig2(w io.Writer, p Params) {
@@ -133,6 +161,14 @@ func runFig2(w io.Writer, p Params) {
 			fmtP5099(base.OpLatency), fmtP5099(lease.OpLatency))
 	}
 	t.Print(w)
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "where the cycles went (leased stack, % of measured op latency):")
+	ct := NewTable("threads", "cycles/op", "req-net", "dir-queue", "dir-service",
+		"inval", "probe-defer", "transfer", "l1+compute")
+	for i, n := range threads {
+		WhereCyclesWentRow(ct, n, rows[i].lease.Get().Txns)
+	}
+	ct.Print(w)
 }
 
 // fmtP5099 renders a latency digest as "p50/p99" cycles.
@@ -164,6 +200,34 @@ func runFig3Counter(w io.Writer, p Params) {
 			tts.NJPerOp, lease.NJPerOp, fmtP5099(lease.OpLatency), fmtP5099(lease.LeaseHold))
 	}
 	t.Print(w)
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "where the cycles went (leased counter, % of measured op latency):")
+	ct := NewTable("threads", "cycles/op", "req-net", "dir-queue", "dir-service",
+		"inval", "probe-defer", "transfer", "l1+compute")
+	for i, n := range p.Threads {
+		WhereCyclesWentRow(ct, n, rows[i].lease.Get().Txns)
+	}
+	ct.Print(w)
+}
+
+// WhereCyclesWentRow appends one row of a critical-path cycle-accounting
+// table: mean cycles per measured operation, then the share of that
+// latency in each transaction phase plus the non-coherence remainder
+// (L1 hits and local compute). The shares sum to 100% by construction
+// (see telemetry.TxnStats). A nil or op-less summary appends a dash row.
+func WhereCyclesWentRow(t *Table, label interface{}, tx *telemetry.TxnSummary) {
+	if tx == nil || tx.Ops == 0 || tx.OpCycles == 0 || tx.OpPhases == nil {
+		t.Row(label, "-", "-", "-", "-", "-", "-", "-", "-")
+		return
+	}
+	pct := func(v uint64) string {
+		return fmt.Sprintf("%.1f%%", 100*float64(v)/float64(tx.OpCycles))
+	}
+	op := tx.OpPhases
+	t.Row(label, fmt.Sprintf("%.0f", float64(tx.OpCycles)/float64(tx.Ops)),
+		pct(op.ReqNet), pct(op.QueueWait), pct(op.DirService),
+		pct(op.InvalWait), pct(op.DeferWait), pct(op.Transfer),
+		pct(tx.OpOtherCycles))
 }
 
 func runFig3Queue(w io.Writer, p Params) {

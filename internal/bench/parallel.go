@@ -3,6 +3,7 @@ package bench
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Pool is the parallel experiment scheduler: a fixed set of host worker
@@ -15,8 +16,10 @@ import (
 // A nil *Pool — and a pool of one worker — runs every cell inline on the
 // submitting goroutine, reproducing the serial harness exactly.
 type Pool struct {
-	queue chan func()
-	wg    sync.WaitGroup
+	queue   chan func()
+	wg      sync.WaitGroup
+	workers int
+	running atomic.Int32 // workers currently executing a cell
 }
 
 // NewPool starts a pool of the given number of workers; workers <= 0 means
@@ -28,17 +31,36 @@ func NewPool(workers int) *Pool {
 	if workers == 1 {
 		return nil
 	}
-	p := &Pool{queue: make(chan func(), workers)}
+	p := &Pool{queue: make(chan func(), workers), workers: workers}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go func() {
 			defer p.wg.Done()
 			for f := range p.queue {
+				p.running.Add(1)
 				f()
+				p.running.Add(-1)
 			}
 		}()
 	}
 	return p
+}
+
+// Workers returns the pool's worker count (1 for a nil/serial pool).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Running returns how many workers are currently executing a cell.
+// Host-side introspection only; always 0 for a nil pool.
+func (p *Pool) Running() int {
+	if p == nil {
+		return 0
+	}
+	return int(p.running.Load())
 }
 
 // Close stops the workers after all submitted cells have finished. Safe on

@@ -1,0 +1,253 @@
+package bench
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress is the live-introspection hub of a sweep: per-cell progress,
+// worker-pool occupancy, and an aggregate simulated-cycle counter from
+// which simulated-cycles/s is derived. It is purely host-side — nothing
+// reads it from simulation context — so serving it over HTTP alongside
+// -parallel never perturbs simulated timing. All counters are atomics; a
+// nil *Progress is inert, so call sites need no enablement checks.
+type Progress struct {
+	start     time.Time
+	simCycles atomic.Uint64
+
+	mu    sync.Mutex
+	cells []*CellProgress
+	pool  *Pool
+}
+
+// NewProgress returns an empty hub with the rate clock started.
+func NewProgress() *Progress { return &Progress{start: time.Now()} }
+
+// SetPool points the hub at the sweep's worker pool for occupancy
+// reporting. Safe with a nil pool (serial run: occupancy is 0 or 1).
+func (p *Progress) SetPool(pool *Pool) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.pool = pool
+	p.mu.Unlock()
+}
+
+// AddSimCycles adds n simulated cycles to the aggregate rate counter.
+func (p *Progress) AddSimCycles(n uint64) {
+	if p != nil {
+		p.simCycles.Add(n)
+	}
+}
+
+// Cell registers one sweep cell (pending until Start is called). Returns
+// nil — still safe to use — when p is nil.
+func (p *Progress) Cell(name string) *CellProgress {
+	if p == nil {
+		return nil
+	}
+	c := &CellProgress{p: p, name: name}
+	p.mu.Lock()
+	p.cells = append(p.cells, c)
+	p.mu.Unlock()
+	return c
+}
+
+// Cell states.
+const (
+	cellPending int32 = iota
+	cellRunning
+	cellDone
+)
+
+// CellProgress tracks one sweep cell's life: pending -> running -> done,
+// plus the simulated cycles it has executed. All methods are nil-safe.
+type CellProgress struct {
+	p      *Progress
+	name   string
+	state  atomic.Int32
+	cycles atomic.Uint64
+}
+
+// Start marks the cell running (a worker picked it up).
+func (c *CellProgress) Start() {
+	if c != nil {
+		c.state.Store(cellRunning)
+	}
+}
+
+// AddSimCycles credits n simulated cycles to the cell and the aggregate.
+func (c *CellProgress) AddSimCycles(n uint64) {
+	if c != nil {
+		c.cycles.Add(n)
+		c.p.AddSimCycles(n)
+	}
+}
+
+// Done marks the cell finished.
+func (c *CellProgress) Done() {
+	if c != nil {
+		c.state.Store(cellDone)
+	}
+}
+
+// CellSnapshot is one cell's state in a Snapshot.
+type CellSnapshot struct {
+	Name      string `json:"name"`
+	State     string `json:"state"` // "pending" | "running" | "done"
+	SimCycles uint64 `json:"sim_cycles"`
+}
+
+// Snapshot is a point-in-time view of the sweep, as served on /progress.
+type Snapshot struct {
+	CellsTotal   int     `json:"cells_total"`
+	CellsRunning int     `json:"cells_running"`
+	CellsDone    int     `json:"cells_done"`
+	PoolWorkers  int     `json:"pool_workers"`
+	PoolBusy     int     `json:"pool_busy"`
+	SimCycles    uint64  `json:"sim_cycles"`
+	SimCyclesPS  float64 `json:"sim_cycles_per_sec"`
+	ElapsedSec   float64 `json:"elapsed_sec"`
+
+	Cells []CellSnapshot `json:"cells"`
+}
+
+func cellStateName(s int32) string {
+	switch s {
+	case cellRunning:
+		return "running"
+	case cellDone:
+		return "done"
+	}
+	return "pending"
+}
+
+// Snapshot captures the current state.
+func (p *Progress) Snapshot() Snapshot {
+	var s Snapshot
+	if p == nil {
+		return s
+	}
+	p.mu.Lock()
+	cells := append([]*CellProgress(nil), p.cells...)
+	pool := p.pool
+	p.mu.Unlock()
+
+	s.CellsTotal = len(cells)
+	s.Cells = make([]CellSnapshot, 0, len(cells))
+	for _, c := range cells {
+		st := c.state.Load()
+		switch st {
+		case cellRunning:
+			s.CellsRunning++
+		case cellDone:
+			s.CellsDone++
+		}
+		s.Cells = append(s.Cells, CellSnapshot{
+			Name: c.name, State: cellStateName(st), SimCycles: c.cycles.Load(),
+		})
+	}
+	s.PoolWorkers, s.PoolBusy = pool.Workers(), pool.Running()
+	s.SimCycles = p.simCycles.Load()
+	s.ElapsedSec = time.Since(p.start).Seconds()
+	if s.ElapsedSec > 0 {
+		s.SimCyclesPS = float64(s.SimCycles) / s.ElapsedSec
+	}
+	return s
+}
+
+// promText renders the snapshot in the Prometheus text exposition format
+// (as served on /metrics).
+func (s Snapshot) promText() string {
+	var b []byte
+	line := func(format string, args ...interface{}) {
+		b = append(b, fmt.Sprintf(format, args...)...)
+		b = append(b, '\n')
+	}
+	line("# HELP leasesim_cells_total Sweep cells registered.")
+	line("# TYPE leasesim_cells_total gauge")
+	line("leasesim_cells_total %d", s.CellsTotal)
+	line("# HELP leasesim_cells_running Sweep cells currently executing.")
+	line("# TYPE leasesim_cells_running gauge")
+	line("leasesim_cells_running %d", s.CellsRunning)
+	line("# HELP leasesim_cells_done Sweep cells finished.")
+	line("# TYPE leasesim_cells_done gauge")
+	line("leasesim_cells_done %d", s.CellsDone)
+	line("# HELP leasesim_pool_workers Host worker goroutines in the pool.")
+	line("# TYPE leasesim_pool_workers gauge")
+	line("leasesim_pool_workers %d", s.PoolWorkers)
+	line("# HELP leasesim_pool_busy Pool workers currently running a cell.")
+	line("# TYPE leasesim_pool_busy gauge")
+	line("leasesim_pool_busy %d", s.PoolBusy)
+	line("# HELP leasesim_sim_cycles_total Simulated cycles executed across all cells.")
+	line("# TYPE leasesim_sim_cycles_total counter")
+	line("leasesim_sim_cycles_total %d", s.SimCycles)
+	line("# HELP leasesim_sim_cycles_per_second Simulated cycles per host wall-clock second.")
+	line("# TYPE leasesim_sim_cycles_per_second gauge")
+	line("leasesim_sim_cycles_per_second %g", s.SimCyclesPS)
+	line("# HELP leasesim_cell_sim_cycles Simulated cycles executed by one sweep cell.")
+	line("# TYPE leasesim_cell_sim_cycles counter")
+	// Stable order and a unique index label (names may repeat).
+	cells := append([]CellSnapshot(nil), s.Cells...)
+	sort.SliceStable(cells, func(i, j int) bool { return cells[i].Name < cells[j].Name })
+	for i, c := range cells {
+		line(`leasesim_cell_sim_cycles{cell=%q,name=%q,state=%q} %d`,
+			fmt.Sprintf("%d", i), c.Name, c.State, c.SimCycles)
+	}
+	return string(b)
+}
+
+// expvarOnce guards the process-wide expvar name (Publish panics on
+// duplicates); expvarCurrent lets later Serve calls repoint it.
+var (
+	expvarOnce    sync.Once
+	expvarCurrent atomic.Pointer[Progress]
+)
+
+// Handler returns the introspection HTTP handler:
+//
+//	/progress    JSON Snapshot
+//	/metrics     Prometheus text exposition
+//	/debug/vars  standard expvar (includes a "leasesim" Snapshot var)
+func (p *Progress) Handler() http.Handler {
+	expvarCurrent.Store(p)
+	expvarOnce.Do(func() {
+		expvar.Publish("leasesim", expvar.Func(func() interface{} {
+			return expvarCurrent.Load().Snapshot()
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(p.Snapshot())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprint(w, p.Snapshot().promText())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// Serve binds addr (e.g. ":9090") and serves the introspection endpoints
+// in a background goroutine, returning the bound address. The listener
+// lives for the rest of the process — sweeps exit when done.
+func (p *Progress) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: p.Handler()}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The nil hub is inert: every method is safe and free so call sites need
+// no enablement checks.
+func TestProgressNilSafe(t *testing.T) {
+	var p *Progress
+	p.SetPool(nil)
+	p.AddSimCycles(10)
+	c := p.Cell("x")
+	if c != nil {
+		t.Fatal("nil hub returned a non-nil cell")
+	}
+	c.Start()
+	c.AddSimCycles(5)
+	c.Done()
+	s := p.Snapshot()
+	if s.CellsTotal != 0 || s.SimCycles != 0 {
+		t.Errorf("nil hub snapshot = %+v, want zero", s)
+	}
+}
+
+// Cell lifecycle and the aggregate counter: cells progress pending ->
+// running -> done and their cycles credit both the cell and the total.
+func TestProgressCellLifecycle(t *testing.T) {
+	p := NewProgress()
+	a := p.Cell("counter/t2")
+	b := p.Cell("counter/t4")
+
+	a.Start()
+	a.AddSimCycles(100)
+	a.Done()
+	b.Start()
+	b.AddSimCycles(250)
+
+	s := p.Snapshot()
+	if s.CellsTotal != 2 || s.CellsDone != 1 || s.CellsRunning != 1 {
+		t.Errorf("snapshot = %+v, want 2 cells, 1 done, 1 running", s)
+	}
+	if s.SimCycles != 350 {
+		t.Errorf("aggregate cycles = %d, want 350", s.SimCycles)
+	}
+	byName := map[string]CellSnapshot{}
+	for _, c := range s.Cells {
+		byName[c.Name] = c
+	}
+	if byName["counter/t2"].State != "done" || byName["counter/t2"].SimCycles != 100 {
+		t.Errorf("cell a = %+v", byName["counter/t2"])
+	}
+	if byName["counter/t4"].State != "running" || byName["counter/t4"].SimCycles != 250 {
+		t.Errorf("cell b = %+v", byName["counter/t4"])
+	}
+	// Serial run: nil pool reports one inline worker, none busy.
+	if s.PoolWorkers != 1 || s.PoolBusy != 0 {
+		t.Errorf("nil-pool occupancy = %d/%d, want 1/0", s.PoolBusy, s.PoolWorkers)
+	}
+}
+
+// The Prometheus rendering carries every metric family plus per-cell
+// series with stable labels.
+func TestProgressPromText(t *testing.T) {
+	p := NewProgress()
+	c := p.Cell("fig2/t8")
+	c.Start()
+	c.AddSimCycles(42)
+	text := p.Snapshot().promText()
+	for _, want := range []string{
+		"leasesim_cells_total 1",
+		"leasesim_cells_running 1",
+		"leasesim_cells_done 0",
+		"leasesim_pool_workers 1",
+		"leasesim_pool_busy 0",
+		"leasesim_sim_cycles_total 42",
+		"leasesim_sim_cycles_per_second",
+		`name="fig2/t8",state="running"} 42`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prom text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// Serve binds a real listener; /progress serves the JSON snapshot,
+// /metrics the Prometheus text, and /debug/vars the expvar surface with
+// the published leasesim var.
+func TestProgressServeEndpoints(t *testing.T) {
+	p := NewProgress()
+	cell := p.Cell("fig3/t4")
+	cell.Start()
+	cell.AddSimCycles(7)
+
+	addr, err := p.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(path string) []byte {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal(get("/progress"), &snap); err != nil {
+		t.Fatalf("/progress is not JSON: %v", err)
+	}
+	if snap.CellsTotal != 1 || snap.SimCycles != 7 {
+		t.Errorf("/progress = %+v, want 1 cell, 7 cycles", snap)
+	}
+	if !strings.Contains(string(get("/metrics")), "leasesim_sim_cycles_total 7") {
+		t.Error("/metrics missing the cycle counter")
+	}
+	if !strings.Contains(string(get("/debug/vars")), `"leasesim"`) {
+		t.Error("/debug/vars missing the leasesim var")
+	}
+
+	// A second hub can be served (tests, repeated sweeps) without the
+	// expvar duplicate-publish panic, and the var follows the newest hub.
+	p2 := NewProgress()
+	p2.Cell("fig4/t2")
+	addr2, err := p2.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/vars", addr2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "fig4/t2") {
+		t.Error("expvar did not repoint to the newest hub")
+	}
+}
+
+// Pool occupancy: Running tracks cells mid-execution and returns to zero;
+// Workers reports the fixed pool size (and the serial conventions on nil).
+func TestPoolOccupancy(t *testing.T) {
+	pool := NewPool(2)
+	defer pool.Close()
+	if pool.Workers() != 2 {
+		t.Fatalf("Workers() = %d, want 2", pool.Workers())
+	}
+
+	release := make(chan struct{})
+	var started sync.WaitGroup
+	started.Add(2)
+	futures := []*Future[int]{
+		Go(pool, func() int { started.Done(); <-release; return 1 }),
+		Go(pool, func() int { started.Done(); <-release; return 2 }),
+	}
+	started.Wait()
+	if got := pool.Running(); got != 2 {
+		t.Errorf("Running() = %d while both cells block, want 2", got)
+	}
+	close(release)
+	for _, f := range futures {
+		f.Get()
+	}
+	var nilPool *Pool
+	if nilPool.Workers() != 1 || nilPool.Running() != 0 {
+		t.Errorf("nil pool = %d workers, %d running; want 1, 0",
+			nilPool.Workers(), nilPool.Running())
+	}
+}

@@ -33,6 +33,9 @@ type Report struct {
 	ProbeDefer *telemetry.Summary `json:"probe_defer_cycles,omitempty"`
 	DirQueue   *telemetry.Summary `json:"dir_queue_occupancy,omitempty"`
 
+	// Txns is the coherence-transaction cycle accounting (span tracing).
+	Txns *telemetry.TxnSummary `json:"txn_accounting,omitempty"`
+
 	Counters Counters     `json:"counters"`
 	HotLines []HotLineRow `json:"hot_lines,omitempty"`
 	Series   []Sample     `json:"series,omitempty"`
@@ -90,15 +93,16 @@ func CountersOf(s machine.Stats) Counters {
 // HotLineRow is one line of the ranked hot-line table, with the line
 // address rendered in hex.
 type HotLineRow struct {
-	Line      string `json:"line"`
-	Score     uint64 `json:"score"`
-	Msgs      uint64 `json:"msgs"`
-	Invals    uint64 `json:"invalidations"`
-	Deferred  uint64 `json:"deferred_probes"`
-	Leases    uint64 `json:"leases"`
-	Breaks    uint64 `json:"broken_leases"`
-	Evictions uint64 `json:"l1_evictions"`
-	MaxQueue  uint64 `json:"max_dir_queue"`
+	Line           string `json:"line"`
+	Score          uint64 `json:"score"`
+	Msgs           uint64 `json:"msgs"`
+	Invals         uint64 `json:"invalidations"`
+	Deferred       uint64 `json:"deferred_probes"`
+	DeferredCycles uint64 `json:"deferred_cycles"`
+	Leases         uint64 `json:"leases"`
+	Breaks         uint64 `json:"broken_leases"`
+	Evictions      uint64 `json:"l1_evictions"`
+	MaxQueue       uint64 `json:"max_dir_queue"`
 }
 
 // HotLineRows renders the recorder's top-k contended lines.
@@ -110,7 +114,8 @@ func HotLineRows(rec *telemetry.Recorder, k int) []HotLineRow {
 		rows = append(rows, HotLineRow{
 			Line:  fmt.Sprintf("%#x", uint64(s.Line)),
 			Score: s.Score(), Msgs: s.Msgs, Invals: s.Invals,
-			Deferred: s.Deferred, Leases: s.Leases, Breaks: s.Breaks,
+			Deferred: s.Deferred, DeferredCycles: s.DeferredCycles,
+			Leases: s.Leases, Breaks: s.Breaks,
 			Evictions: s.Evictions, MaxQueue: s.MaxQueue,
 		})
 	}
@@ -129,6 +134,7 @@ func BuildReport(ds string, threads int, lease bool, cfg machine.Config,
 		CASFailsPerOp: r.CASFailsPerOp, Fairness: r.Fairness,
 		OpLatency: r.OpLatency, LeaseHold: r.LeaseHold,
 		ProbeDefer: r.ProbeDefer, DirQueue: r.DirQueue,
+		Txns:     r.Txns,
 		Counters: CountersOf(r.Window), Series: r.Series,
 	}
 	if rec != nil && hotK > 0 {

@@ -50,6 +50,11 @@ type Result struct {
 	ProbeDefer *telemetry.Summary // probe wait behind a lease
 	DirQueue   *telemetry.Summary // directory queue occupancy at arrival
 
+	// Txns is the critical-path cycle accounting of the window's coherence
+	// transactions, filled when the recorder had spans enabled
+	// (Recorder.EnableSpans); nil otherwise.
+	Txns *telemetry.TxnSummary
+
 	// Series holds the periodic time-series samples of windowed Stats
 	// deltas (Options.Samples sub-windows); nil when sampling is off.
 	Series []Sample
@@ -77,6 +82,11 @@ type Options struct {
 	// carrying the diagnostic dump. With fault injection disabled the
 	// checker is a pure observer and does not change simulated timing.
 	Invariants bool
+	// Progress, when non-nil, receives live cell progress: the run is
+	// stepped in host-side chunks (simulation-identical — only the Run
+	// call granularity changes) so simulated-cycle counters advance while
+	// the cell executes.
+	Progress *CellProgress
 }
 
 // Throughput runs a standard throughput benchmark: build the structure,
@@ -136,7 +146,14 @@ func throughputGuarded(cfg machine.Config, threads int, warm, window uint64,
 		chk = invariant.Attach(m, invariant.Config{})
 	}
 	rec := o.Recorder
+	var spans *telemetry.Spans
 	if rec != nil {
+		spans = rec.Spans
+		if spans != nil {
+			// Align span accounting with the measured window: spans of
+			// warm-up transactions are assembled but not aggregated.
+			spans.WindowStart = warm
+		}
 		rec.Attach(m.Telemetry())
 	}
 	op := build(m.Direct())
@@ -145,8 +162,13 @@ func throughputGuarded(cfg machine.Config, threads int, warm, window uint64,
 		op = func(tid int, c *machine.Ctx) {
 			start := c.Now()
 			inner(tid, c)
+			end := c.Now()
 			if start >= warm {
-				rec.OpLatency.Observe(c.Now() - start)
+				rec.OpLatency.Observe(end - start)
+			}
+			if spans != nil {
+				// Threads spawn on cores in order, so tid == core id.
+				spans.OpEnd(tid, start, end, start >= warm)
 			}
 		}
 	}
@@ -161,10 +183,31 @@ func throughputGuarded(cfg machine.Config, threads int, warm, window uint64,
 		})
 	}
 	step := func(until uint64) error {
-		if rerr := m.Run(until); rerr != nil {
-			return newRunError(m, threads, rerr)
+		if o.Progress == nil {
+			if rerr := m.Run(until); rerr != nil {
+				return newRunError(m, threads, rerr)
+			}
+			return nil
 		}
-		return nil
+		// Step in host-side chunks so live sim-cycle counters advance
+		// during the run. The event sequence inside each chunk is exactly
+		// what one big Run would execute, so results are unchanged.
+		const chunk = 100_000
+		for {
+			now := m.Now()
+			if now >= until {
+				return nil
+			}
+			next := now + chunk
+			if next > until {
+				next = until
+			}
+			rerr := m.Run(next)
+			o.Progress.AddSimCycles(m.Now() - now)
+			if rerr != nil {
+				return newRunError(m, threads, rerr)
+			}
+		}
 	}
 	if err := step(warm); err != nil {
 		return res, err
@@ -226,6 +269,11 @@ func throughputGuarded(cfg machine.Config, threads int, warm, window uint64,
 		r.LeaseHold = summaryOf(&rec.LeaseHold)
 		r.ProbeDefer = summaryOf(&rec.ProbeDefer)
 		r.DirQueue = summaryOf(&rec.DirQueue)
+		if spans != nil {
+			st := spans.Stats()
+			sum := st.Summary()
+			r.Txns = &sum
+		}
 	}
 	return r, nil
 }

@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"leaserelease/internal/machine"
+	"leaserelease/internal/telemetry"
+)
+
+// spanRun runs a leased contended counter with span tracing (keeping every
+// completed span) and returns the result and the assembler.
+func spanRun(t *testing.T, seed uint64, threads int) (Result, *telemetry.Spans) {
+	t.Helper()
+	cfg := machine.DefaultConfig(threads)
+	cfg.Seed = seed
+	rec := telemetry.NewRecorder()
+	sp := rec.EnableSpans()
+	sp.Keep = true
+	r := ThroughputOpts(cfg, threads, 20_000, 100_000,
+		CounterWorkload(CounterLeasedTTS), Options{Recorder: rec})
+	if r.Err != nil {
+		t.Fatalf("run failed: %v", r.Err)
+	}
+	return r, sp
+}
+
+// The acceptance invariant of the cycle accounting, on the paper's
+// contended-counter workload: every completed span's phases partition its
+// latency exactly, and the operation roll-up accounts for 100% of measured
+// operation latency (OpCycles == OpTxnCycles + OpOtherCycles, with the
+// txn part equal to the per-phase sum).
+func TestSpanCycleAccountingSumsToLatency(t *testing.T) {
+	r, sp := spanRun(t, 1, 8)
+
+	if len(sp.Completed) == 0 {
+		t.Fatal("no spans completed on a contended run")
+	}
+	for _, s := range sp.Completed {
+		var sum uint64
+		for _, c := range s.Phases {
+			sum += c
+		}
+		if sum != s.Total() {
+			t.Fatalf("span %#x: phases %v sum to %d, want total %d",
+				s.ID, s.Phases, sum, s.Total())
+		}
+	}
+
+	st := sp.Stats()
+	if st.Spans == 0 || st.Deferred == 0 {
+		t.Fatalf("stats %+v: want spans and deferrals on a leased contended counter", st)
+	}
+	var phaseSum uint64
+	for _, c := range st.Phase {
+		phaseSum += c
+	}
+	if phaseSum != st.SpanCycles {
+		t.Errorf("aggregate phases sum to %d, want SpanCycles %d", phaseSum, st.SpanCycles)
+	}
+
+	if st.Ops == 0 {
+		t.Fatal("no measured operations attributed")
+	}
+	if st.OpCycles != st.OpTxnCycles+st.OpOtherCycles {
+		t.Errorf("OpCycles %d != OpTxnCycles %d + OpOtherCycles %d",
+			st.OpCycles, st.OpTxnCycles, st.OpOtherCycles)
+	}
+	var opPhaseSum uint64
+	for _, c := range st.OpPhase {
+		opPhaseSum += c
+	}
+	if opPhaseSum != st.OpTxnCycles {
+		t.Errorf("sum(OpPhase) %d != OpTxnCycles %d", opPhaseSum, st.OpTxnCycles)
+	}
+
+	// The result carries the summary for reports and tables.
+	if r.Txns == nil || r.Txns.Count != st.Spans || r.Txns.OpPhases == nil {
+		t.Errorf("Result.Txns = %+v, want the run's summary", r.Txns)
+	}
+}
+
+// Span tracing must not perturb the simulation: the measured window is
+// identical (ops, every hardware counter, fairness, latency histogram)
+// with tracing on and off — which is what keeps benchmark tables
+// byte-identical either way.
+func TestSpanTracingDoesNotPerturbSimulation(t *testing.T) {
+	run := func(spans bool) Result {
+		cfg := machine.DefaultConfig(8)
+		cfg.Seed = 3
+		rec := telemetry.NewRecorder()
+		if spans {
+			rec.EnableSpans()
+		}
+		return ThroughputOpts(cfg, 8, 20_000, 100_000,
+			CounterWorkload(CounterLeasedTTS), Options{Recorder: rec})
+	}
+	plain := run(false)
+	traced := run(true)
+
+	if plain.Ops != traced.Ops {
+		t.Errorf("ops changed with span tracing: %d vs %d", plain.Ops, traced.Ops)
+	}
+	if plain.Window != traced.Window {
+		t.Errorf("window stats changed with span tracing:\n%+v\n%+v", plain.Window, traced.Window)
+	}
+	if plain.Fairness != traced.Fairness {
+		t.Errorf("fairness changed with span tracing: %v vs %v", plain.Fairness, traced.Fairness)
+	}
+	if !reflect.DeepEqual(plain.OpLatency, traced.OpLatency) {
+		t.Errorf("op-latency histogram changed with span tracing:\n%+v\n%+v",
+			plain.OpLatency, traced.OpLatency)
+	}
+	if traced.Txns == nil || traced.Txns.Count == 0 {
+		t.Error("traced run produced no span accounting")
+	}
+	if plain.Txns != nil {
+		t.Error("untraced run produced span accounting")
+	}
+}
+
+// The reconstructed span trees are part of the determinism contract: a
+// sweep of cells produces identical spans for every -parallel worker
+// count (cells own private machines; host scheduling cannot leak in).
+func TestSpanTreesIdenticalAcrossPoolSizes(t *testing.T) {
+	sweep := func(workers int) [][]telemetry.Span {
+		pool := NewPool(workers)
+		defer pool.Close()
+		seeds := []uint64{1, 2, 3, 4}
+		futures := make([]*Future[[]telemetry.Span], len(seeds))
+		for i, seed := range seeds {
+			seed := seed
+			futures[i] = Go(pool, func() []telemetry.Span {
+				cfg := machine.DefaultConfig(4)
+				cfg.Seed = seed
+				rec := telemetry.NewRecorder()
+				sp := rec.EnableSpans()
+				sp.Keep = true
+				r := ThroughputOpts(cfg, 4, 10_000, 40_000,
+					CounterWorkload(CounterLeasedTTS), Options{Recorder: rec})
+				if r.Err != nil {
+					t.Errorf("seed %d failed: %v", seed, r.Err)
+				}
+				return sp.Completed
+			})
+		}
+		out := make([][]telemetry.Span, len(futures))
+		for i, f := range futures {
+			out[i] = f.Get()
+		}
+		return out
+	}
+
+	serial := sweep(1)
+	parallel := sweep(4)
+	for i := range serial {
+		if len(serial[i]) == 0 {
+			t.Fatalf("cell %d completed no spans", i)
+		}
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Fatalf("cell %d span trees differ between -parallel 1 and 4", i)
+		}
+	}
+}

@@ -98,6 +98,13 @@ type Request struct {
 	Excl  bool
 	Lease bool // initiated by a Lease instruction (see Config.RegularBreaksLease)
 
+	// Txn is the transaction ID minted at the requesting core when span
+	// tracing is enabled (telemetry.CatTxn has a subscriber); zero
+	// otherwise. Every CatTxn event the transaction spawns — through the
+	// directory, the owner's lease table, and back — carries it in
+	// Event.Val, so the span assembler can reconstruct the causal tree.
+	Txn uint64
+
 	Issued sim.Time // submission time (for latency accounting)
 
 	// newState/newOwner/newSharers: directory transition decided when the
@@ -212,6 +219,15 @@ func (d *Directory) countMsg(l mem.Line, kind MsgKind, n int) {
 	d.Bus.Emit(telemetry.CatCoherence, -1, uint8(kind), l, uint64(n))
 }
 
+// txn emits one CatTxn span event for req. req.Txn == 0 (tracing
+// disabled, or the request predates the subscriber) makes every site a
+// single predictable branch.
+func (d *Directory) txn(req *Request, core int, kind uint8, aux uint64) {
+	if req.Txn != 0 {
+		d.Bus.Emit2(telemetry.CatTxn, core, kind, req.Line, req.Txn, aux)
+	}
+}
+
 // Submit issues a request from a core at the current time. The request
 // message takes one network hop (plus jitter) to reach the directory,
 // where it enters the line's FIFO queue.
@@ -240,6 +256,7 @@ func (d *Directory) arrive(req *Request) {
 		d.MaxQueue = occ
 	}
 	d.Bus.Emit(telemetry.CatDirQueue, req.Core, 0, req.Line, uint64(occ))
+	d.txn(req, req.Core, telemetry.TxnArrive, uint64(occ))
 	if !e.busy {
 		d.serviceMaybeStalled(req.Line)
 	}
@@ -278,6 +295,7 @@ func (d *Directory) service(l mem.Line) {
 			req.newState = dirS
 			req.newSharers = bit(e.owner) | bit(req.Core)
 		}
+		d.txn(req, req.Core, telemetry.TxnService, 0)
 		d.countMsg(l, MsgForward, 1)
 		owner := e.owner
 		d.eng.After(d.t.L2Tag+d.t.Net+d.Faults.MsgDelay(), func() { d.probeArrive(owner, req) })
@@ -288,6 +306,7 @@ func (d *Directory) service(l mem.Line) {
 		others := e.sharers &^ bit(req.Core)
 		k := countBits(others)
 		dataReady := d.t.L2Tag + d.t.L2Data
+		d.txn(req, req.Core, telemetry.TxnService, uint64(dataReady))
 		if k > 0 {
 			d.countMsg(l, MsgInval, k)
 			d.countMsg(l, MsgAck, k)
@@ -301,6 +320,9 @@ func (d *Directory) service(l mem.Line) {
 			if acksDone > dataReady {
 				dataReady = acksDone
 			}
+		}
+		if extra := dataReady - (d.t.L2Tag + d.t.L2Data); extra > 0 {
+			d.txn(req, req.Core, telemetry.TxnInval, uint64(extra))
 		}
 		d.env.CountL2()
 		d.countMsg(l, MsgReply, 1)
@@ -317,6 +339,7 @@ func (d *Directory) service(l mem.Line) {
 			lat += d.t.DRAM
 			d.env.CountDRAM()
 		}
+		d.txn(req, req.Core, telemetry.TxnService, uint64(lat))
 		switch {
 		case req.Excl:
 			req.newState, req.newOwner = dirM, req.Core
@@ -336,8 +359,10 @@ func (d *Directory) service(l mem.Line) {
 
 // probeArrive runs when a forwarded probe reaches the owning core.
 func (d *Directory) probeArrive(owner int, req *Request) {
+	d.txn(req, owner, telemetry.TxnProbe, 0)
 	if d.env.DeliverProbe(owner, req) {
 		d.DeferredProbes++
+		d.txn(req, owner, telemetry.TxnDefer, 0)
 		return // env will call ProbeDone on lease release/expiry
 	}
 	d.ownerDowngraded(req)
@@ -351,6 +376,7 @@ func (d *Directory) ProbeDone(req *Request) { d.ownerDowngraded(req) }
 func (d *Directory) ownerDowngraded(req *Request) {
 	// Owner sends the data directly to the requester and an
 	// ownership-transfer ack to the directory.
+	d.txn(req, req.Core, telemetry.TxnProbeDone, 0)
 	d.countMsg(req.Line, MsgReply, 1)
 	d.countMsg(req.Line, MsgAck, 1)
 	d.eng.After(d.t.Inval+d.t.Net+d.Faults.MsgDelay(), func() { d.complete(req) })
@@ -371,6 +397,7 @@ func (d *Directory) complete(req *Request) {
 		st = cache.Modified
 	}
 	e.busy = false
+	d.txn(req, req.Core, telemetry.TxnComplete, 0)
 	d.env.Complete(req, st)
 	if len(e.queue) > 0 {
 		d.serviceMaybeStalled(req.Line)

@@ -191,7 +191,12 @@ func (c *Checker) onEvent(e telemetry.Event) {
 		}
 	}
 
-	if e.Line != 0 {
+	// CatTxn events mark transaction-internal instants (queue arrival,
+	// service, invalidation fan-out, completion hand-off) where the line
+	// is legitimately mid-transition — e.g. the directory has granted M
+	// while invalidation acks are still in flight — so MSI agreement is
+	// only probed on the protocol-level events.
+	if e.Line != 0 && e.Cat != telemetry.CatTxn {
 		if err := c.m.VerifyLine(e.Line); err != nil {
 			c.violate(e.Time, "msi-agreement", "%v", err)
 		}

@@ -104,6 +104,7 @@ func (c *Ctx) access(a mem.Addr, write, lease bool) {
 		return
 	}
 	req := &coherence.Request{Core: c.cs.id, Line: l, Excl: write, Lease: lease}
+	c.m.mintTxn(c.cs, req)
 	c.m.dir.Submit(req)
 	c.p.Block(describeReq(req))
 	c.p.Work(c.m.cfg.L1HitLat)
@@ -193,6 +194,7 @@ func (c *Ctx) LeaseAt(site uint64, a mem.Addr, dur uint64) {
 		return
 	}
 	req := &coherence.Request{Core: cs.id, Line: l, Excl: true, Lease: true}
+	c.m.mintTxn(cs, req)
 	c.m.dir.Submit(req)
 	c.p.Block(describeReq(req))
 	c.p.Work(c.m.cfg.L1HitLat)
@@ -262,6 +264,7 @@ func (c *Ctx) MultiLease(dur uint64, addrs ...mem.Addr) bool {
 			continue
 		}
 		req := &coherence.Request{Core: cs.id, Line: l, Excl: true, Lease: true}
+		c.m.mintTxn(cs, req)
 		c.m.dir.Submit(req)
 		c.p.Block(describeReq(req))
 		c.p.Work(c.m.cfg.L1HitLat)

@@ -62,6 +62,7 @@ type coreState struct {
 	leases *core.Table
 	proc   *sim.Proc
 	pred   *leasePredictor
+	txnSeq uint64 // per-core transaction counter (span tracing only)
 }
 
 // New builds a machine from cfg.
@@ -227,6 +228,30 @@ func leaseHold(e *core.Entry, now uint64) uint64 {
 	return now - (e.Deadline - e.Duration)
 }
 
+// mintTxn assigns req a machine-unique transaction ID and emits TxnBegin,
+// if and only if someone subscribed to span tracing. With tracing off the
+// cost is Bus.Wants — a nil check plus one bitmask test — and req.Txn
+// stays zero, which keeps every downstream CatTxn emit site to a single
+// predictable branch.
+func (m *Machine) mintTxn(cs *coreState, req *coherence.Request) {
+	if !m.bus.Wants(telemetry.CatTxn) {
+		return
+	}
+	cs.txnSeq++
+	req.Txn = uint64(cs.id)<<48 | cs.txnSeq
+	var flags uint64
+	if req.Excl {
+		flags |= telemetry.TxnFlagExcl
+	}
+	if req.Lease {
+		flags |= telemetry.TxnFlagLease
+	}
+	if cs.l1.State(req.Line) == cache.Shared {
+		flags |= telemetry.TxnFlagUpgrade
+	}
+	m.bus.Emit2(telemetry.CatTxn, cs.id, telemetry.TxnBegin, req.Line, req.Txn, flags)
+}
+
 // serveDeferred delivers the (at most one) probe deferred on a released
 // lease entry: downgrade the local copy and let the directory finish the
 // stalled transaction.
@@ -237,8 +262,8 @@ func (m *Machine) serveDeferred(cs *coreState, e *core.Entry) {
 	}
 	req := p.(*coherence.Request)
 	if m.bus != nil {
-		m.bus.Emit(telemetry.CatLease, cs.id, telemetry.ProbeServed, e.Line,
-			m.eng.Now()-e.ProbeQueuedAt)
+		m.bus.Emit2(telemetry.CatLease, cs.id, telemetry.ProbeServed, e.Line,
+			m.eng.Now()-e.ProbeQueuedAt, req.Txn)
 	}
 	to := cache.Shared
 	if req.Excl {

@@ -30,6 +30,12 @@ const (
 	// request arrival, with Event.Val the line's queue occupancy
 	// (including the request in service).
 	CatDirQueue
+	// CatTxn carries coherence-transaction span events (Event.Kind is one
+	// of the Txn* kinds below; Event.Val is the transaction ID minted at
+	// the requesting core, Event.Aux a kind-specific payload). The span
+	// assembler (Spans) reconstructs per-transaction phase breakdowns
+	// from this stream.
+	CatTxn
 	// NumCategories is the number of event categories.
 	NumCategories
 )
@@ -44,6 +50,8 @@ func (c Category) String() string {
 		return "cache"
 	case CatDirQueue:
 		return "dirqueue"
+	case CatTxn:
+		return "txn"
 	}
 	return "category?"
 }
@@ -78,6 +86,43 @@ const (
 // NumMsgKinds is the number of coherence message kinds.
 const NumMsgKinds = 6
 
+// Coherence-transaction span kinds (CatTxn). Every CatTxn event carries the
+// transaction ID in Event.Val; Event.Aux is kind-specific. A transaction's
+// life is Begin -> Arrive -> Service -> { fill | inval fan-out |
+// forward/probe [-> defer] } -> Complete; the span assembler turns the
+// timestamps into a per-phase cycle breakdown.
+const (
+	// TxnBegin: the requesting core submitted the request. Aux is a
+	// TxnFlag* bitmask describing the request.
+	TxnBegin uint8 = iota
+	// TxnArrive: the request entered the line's directory FIFO queue.
+	// Aux is the queue occupancy at arrival (including in-service).
+	TxnArrive
+	// TxnService: the request became head-of-queue and entered service.
+	// Aux is the directory's L2 tag/data service latency in cycles (0 on
+	// the forward path, where service time is measured to probe arrival).
+	TxnService
+	// TxnInval: sharer invalidations fanned out. Aux is the extra wait in
+	// cycles beyond the L2 access before the grant can be sent.
+	TxnInval
+	// TxnProbe: the forwarded probe reached the owning core (Event.Core).
+	TxnProbe
+	// TxnDefer: the probe was queued behind the owner's active lease.
+	TxnDefer
+	// TxnProbeDone: the owner downgraded its copy (immediately, or after
+	// the deferring lease released).
+	TxnProbeDone
+	// TxnComplete: the grant was committed and the requester resumed.
+	TxnComplete
+)
+
+// TxnFlag* describe a transaction in TxnBegin's Aux payload.
+const (
+	TxnFlagExcl    uint64 = 1 << iota // GetX (exclusive) request
+	TxnFlagLease                      // initiated by a Lease instruction
+	TxnFlagUpgrade                    // requester held the line Shared (S->M upgrade)
+)
+
 // NoVal marks an Event.Val that carries no measurement (e.g. the hold time
 // of a lease that never started its countdown).
 const NoVal = ^uint64(0)
@@ -91,6 +136,7 @@ type Event struct {
 	Kind uint8    // category-specific subtype
 	Line mem.Line // cache line the event concerns (0 if none)
 	Val  uint64   // category-specific payload (duration, occupancy, count)
+	Aux  uint64   // secondary payload (CatTxn kind payloads; else 0)
 }
 
 // Bus is a multi-subscriber event bus over the simulated machine. A nil
@@ -137,10 +183,16 @@ func (b *Bus) Wants(cat Category) bool {
 // Emit timestamps and delivers an event to cat's subscribers. No-op when
 // nobody subscribed (or b is nil).
 func (b *Bus) Emit(cat Category, core int, kind uint8, line mem.Line, val uint64) {
+	b.Emit2(cat, core, kind, line, val, 0)
+}
+
+// Emit2 is Emit with the secondary Aux payload (CatTxn events use it for
+// kind-specific measurements alongside the transaction ID in val).
+func (b *Bus) Emit2(cat Category, core int, kind uint8, line mem.Line, val, aux uint64) {
 	if !b.Wants(cat) {
 		return
 	}
-	e := Event{Time: b.now(), Core: core, Cat: cat, Kind: kind, Line: line, Val: val}
+	e := Event{Time: b.now(), Core: core, Cat: cat, Kind: kind, Line: line, Val: val, Aux: aux}
 	for _, fn := range b.subs[cat] {
 		fn(e)
 	}

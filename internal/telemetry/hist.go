@@ -116,28 +116,48 @@ func (h *Hist) Quantile(q float64) uint64 {
 	return h.max
 }
 
-// Summary is the percentile digest of a Hist, as reported in JSON run
-// reports and bench results.
-type Summary struct {
-	Count uint64  `json:"count"`
-	Mean  float64 `json:"mean"`
-	P50   uint64  `json:"p50"`
-	P90   uint64  `json:"p90"`
-	P99   uint64  `json:"p99"`
-	Min   uint64  `json:"min"`
-	Max   uint64  `json:"max"`
+// HistBucket is one occupied log2 bucket in a Summary's full bucket
+// array: Count observations fell in the inclusive value range [Lo, Hi].
+type HistBucket struct {
+	Lo    uint64 `json:"lo"`
+	Hi    uint64 `json:"hi"`
+	Count uint64 `json:"count"`
 }
 
-// Summary digests the histogram into count/mean/p50/p90/p99/min/max.
+// Summary is the percentile digest of a Hist, as reported in JSON run
+// reports and bench results. Buckets carries the full (occupied-only)
+// bucket array so reports can be re-analyzed offline without re-running.
+type Summary struct {
+	Count   uint64       `json:"count"`
+	Mean    float64      `json:"mean"`
+	P50     uint64       `json:"p50"`
+	P90     uint64       `json:"p90"`
+	P99     uint64       `json:"p99"`
+	Min     uint64       `json:"min"`
+	Max     uint64       `json:"max"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Summary digests the histogram into count/mean/p50/p90/p99/min/max plus
+// the occupied bucket array.
 func (h *Hist) Summary() Summary {
+	var buckets []HistBucket
+	for b, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := bucketBounds(b)
+		buckets = append(buckets, HistBucket{Lo: lo, Hi: hi, Count: c})
+	}
 	return Summary{
-		Count: h.n,
-		Mean:  h.Mean(),
-		P50:   h.Quantile(0.50),
-		P90:   h.Quantile(0.90),
-		P99:   h.Quantile(0.99),
-		Min:   h.min,
-		Max:   h.max,
+		Count:   h.n,
+		Mean:    h.Mean(),
+		P50:     h.Quantile(0.50),
+		P90:     h.Quantile(0.90),
+		P99:     h.Quantile(0.99),
+		Min:     h.min,
+		Max:     h.max,
+		Buckets: buckets,
 	}
 }
 

@@ -11,13 +11,14 @@ import (
 type LineStats struct {
 	Line mem.Line `json:"line"`
 
-	Msgs      uint64 `json:"msgs"`            // coherence messages for the line
-	Invals    uint64 `json:"invalidations"`   // owner probes + sharer invalidations
-	Deferred  uint64 `json:"deferred_probes"` // probes queued behind a lease
-	Leases    uint64 `json:"leases"`          // lease entries created
-	Breaks    uint64 `json:"broken_leases"`   // leases broken by regular requests
-	Evictions uint64 `json:"l1_evictions"`    // L1 replacement victims
-	MaxQueue  uint64 `json:"max_dir_queue"`   // peak directory queue occupancy
+	Msgs           uint64 `json:"msgs"`            // coherence messages for the line
+	Invals         uint64 `json:"invalidations"`   // owner probes + sharer invalidations
+	Deferred       uint64 `json:"deferred_probes"` // probes queued behind a lease
+	DeferredCycles uint64 `json:"deferred_cycles"` // total cycles probes spent deferred
+	Leases         uint64 `json:"leases"`          // lease entries created
+	Breaks         uint64 `json:"broken_leases"`   // leases broken by regular requests
+	Evictions      uint64 `json:"l1_evictions"`    // L1 replacement victims
+	MaxQueue       uint64 `json:"max_dir_queue"`   // peak directory queue occupancy
 }
 
 // Score is the contention ranking key: coherence conflict events

@@ -1,0 +1,7 @@
+//go:build race
+
+package telemetry
+
+// raceEnabled gates tests that are invalid under the race detector (it
+// instruments allocations, so testing.AllocsPerRun over-counts).
+const raceEnabled = true

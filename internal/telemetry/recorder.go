@@ -19,6 +19,12 @@ type Recorder struct {
 	// Timeline, when non-nil (EnableTimeline), collects per-core lease
 	// intervals for Chrome-trace export.
 	Timeline *Timeline
+
+	// Spans, when non-nil (EnableSpans), assembles CatTxn events into
+	// per-transaction spans and critical-path cycle accounting. Attach
+	// subscribes CatTxn only when it is set, preserving the zero-overhead
+	// disabled path.
+	Spans *Spans
 }
 
 // NewRecorder returns an empty recorder.
@@ -31,12 +37,28 @@ func (r *Recorder) EnableTimeline(cyclesPerUS float64) *Timeline {
 	return r.Timeline
 }
 
-// Attach subscribes the recorder to every category it consumes.
+// EnableSpans attaches a span assembler and returns it. Call before
+// Attach; when a timeline is also enabled, completed spans flow into it
+// as nested transaction slices.
+func (r *Recorder) EnableSpans() *Spans {
+	r.Spans = NewSpans()
+	return r.Spans
+}
+
+// Attach subscribes the recorder to every category it consumes. CatTxn is
+// subscribed only when spans are enabled, so the transaction-ID minting
+// fast path (Bus.Wants(CatTxn)) stays cold otherwise.
 func (r *Recorder) Attach(b *Bus) {
 	b.Subscribe(CatLease, r.onLease)
 	b.Subscribe(CatCoherence, r.onCoherence)
 	b.Subscribe(CatCache, r.onCache)
 	b.Subscribe(CatDirQueue, r.onDirQueue)
+	if r.Spans != nil {
+		if r.Timeline != nil && r.Spans.OnComplete == nil {
+			r.Spans.OnComplete = r.Timeline.OnTxnSpan
+		}
+		b.Subscribe(CatTxn, r.Spans.OnEvent)
+	}
 }
 
 func (r *Recorder) onLease(e Event) {
@@ -55,6 +77,7 @@ func (r *Recorder) onLease(e Event) {
 	case ProbeServed:
 		if e.Val != NoVal {
 			r.ProbeDefer.Observe(e.Val)
+			r.Lines.Get(e.Line).DeferredCycles += e.Val
 		}
 	}
 	if r.Timeline != nil {

@@ -1,0 +1,362 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"leaserelease/internal/mem"
+)
+
+// Phase indexes one segment of a coherence transaction's critical path.
+// The segments are consecutive and disjoint, so for every completed span
+// they sum exactly to the transaction's total latency (Complete - Begin).
+type Phase int
+
+const (
+	// PhaseReqNet: request network traversal, core -> directory (includes
+	// mesh jitter and injected message delays).
+	PhaseReqNet Phase = iota
+	// PhaseQueue: wait in the line's directory FIFO queue (the paper's
+	// Assumption 1 queueing delay, plus any injected directory stall).
+	PhaseQueue
+	// PhaseDirService: directory tag/data service — L2 tag + data access
+	// (+DRAM on a cold fill); on the forward path, tag lookup plus the
+	// hop to the owning core.
+	PhaseDirService
+	// PhaseInval: sharer invalidation fan-out beyond the L2 access.
+	PhaseInval
+	// PhaseDefer: probe deferral behind the owner's lease, bounded by
+	// MAX_LEASE_TIME (Proposition 1).
+	PhaseDefer
+	// PhaseTransfer: data transfer back to the requesting core.
+	PhaseTransfer
+	// NumPhases is the number of critical-path phases.
+	NumPhases
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseReqNet:
+		return "req-net"
+	case PhaseQueue:
+		return "dir-queue"
+	case PhaseDirService:
+		return "dir-service"
+	case PhaseInval:
+		return "inval-fanout"
+	case PhaseDefer:
+		return "probe-defer"
+	case PhaseTransfer:
+		return "transfer"
+	}
+	return fmt.Sprintf("Phase(%d)", int(p))
+}
+
+// Span is one reconstructed coherence transaction: a GetS/GetX/upgrade
+// request and everything it spawned (forward, deferral, invalidations),
+// with a per-phase breakdown of its latency.
+type Span struct {
+	ID    uint64   // transaction ID minted at the requesting core
+	Core  int      // requesting core
+	Owner int      // probed owner core on the forward path, else -1
+	Line  mem.Line // requested cache line
+
+	Excl     bool // GetX (exclusive) request
+	Lease    bool // initiated by a Lease instruction
+	Upgrade  bool // requester held the line Shared
+	Deferred bool // the owner probe was deferred behind a lease
+
+	Begin, End uint64 // submit and completion cycles
+	Occupancy  uint64 // directory queue occupancy at arrival
+
+	Phases [NumPhases]uint64 // cycle breakdown; sums to End-Begin
+}
+
+// Total returns the span's end-to-end latency in cycles.
+func (s *Span) Total() uint64 { return s.End - s.Begin }
+
+// openSpan is a transaction mid-assembly.
+type openSpan struct {
+	span       Span
+	arrive     uint64
+	service    uint64
+	serviceLat uint64 // TxnService Aux: L2 service cycles (0 on forward path)
+	invalExtra uint64 // TxnInval Aux: fan-out wait beyond the L2 access
+	probe      uint64 // probe arrival at the owner (forward path)
+	probeDone  uint64 // owner downgraded
+	forwarded  bool
+}
+
+// TxnStats is the aggregated critical-path cycle accounting of a run's
+// coherence transactions, plus the operation-level roll-up maintained by
+// the harness's OpEnd calls. All counters cover only spans whose Begin is
+// at or after WindowStart.
+type TxnStats struct {
+	Spans      uint64            // completed transactions counted
+	Deferred   uint64            // transactions that hit a lease deferral
+	SpanCycles uint64            // sum of span totals
+	Phase      [NumPhases]uint64 // per-phase cycle totals across spans
+
+	// Operation-level accounting (filled when the harness brackets ops
+	// with OpEnd): OpCycles is total measured operation latency,
+	// OpTxnCycles the part spent inside coherence transactions (with its
+	// per-phase split in OpPhase), and OpOtherCycles the remainder (L1
+	// hits and local compute). OpCycles == OpTxnCycles + OpOtherCycles
+	// and OpTxnCycles == sum(OpPhase) by construction, which is what lets
+	// a "where the cycles went" table account for 100% of measured
+	// operation latency.
+	Ops           uint64
+	OpCycles      uint64
+	OpTxnCycles   uint64
+	OpOtherCycles uint64
+	OpPhase       [NumPhases]uint64
+}
+
+// Spans assembles CatTxn bus events into per-transaction spans and folds
+// them into critical-path cycle accounting. Subscribe OnEvent to CatTxn
+// (Recorder.EnableSpans does this); the zero value is not ready — use
+// NewSpans.
+type Spans struct {
+	// WindowStart excludes transactions beginning before it (the harness
+	// sets it to the warm-up boundary so accounting matches the measured
+	// window).
+	WindowStart uint64
+
+	// Keep retains every completed span in Completed (tests, exporters).
+	// Off by default: long runs complete millions of transactions.
+	Keep      bool
+	Completed []Span
+
+	// OnComplete, when non-nil, observes every completed span in
+	// completion order (the Timeline uses it to draw transaction slices).
+	OnComplete func(*Span)
+
+	stats   TxnStats
+	open    map[uint64]*openSpan
+	pending []pendingOp // per-core span cycles since the last op boundary
+}
+
+// pendingOp accumulates the spans completed on one core since its last
+// operation boundary.
+type pendingOp struct {
+	txnCycles uint64
+	phase     [NumPhases]uint64
+	deferred  uint64
+	spans     uint64
+}
+
+// NewSpans returns an empty span assembler.
+func NewSpans() *Spans {
+	return &Spans{open: make(map[uint64]*openSpan)}
+}
+
+// Stats returns a snapshot of the aggregated cycle accounting.
+func (sp *Spans) Stats() TxnStats { return sp.stats }
+
+// Open returns the number of transactions still in flight.
+func (sp *Spans) Open() int { return len(sp.open) }
+
+// OnEvent consumes one CatTxn event. Events for one transaction arrive in
+// simulated-time order; events of unknown transactions (begun before the
+// assembler attached) are ignored.
+func (sp *Spans) OnEvent(e Event) {
+	if e.Cat != CatTxn {
+		return
+	}
+	id := e.Val
+	if e.Kind == TxnBegin {
+		o := &openSpan{span: Span{
+			ID: id, Core: e.Core, Owner: -1, Line: e.Line, Begin: e.Time,
+			Excl:    e.Aux&TxnFlagExcl != 0,
+			Lease:   e.Aux&TxnFlagLease != 0,
+			Upgrade: e.Aux&TxnFlagUpgrade != 0,
+		}}
+		sp.open[id] = o
+		return
+	}
+	o, ok := sp.open[id]
+	if !ok {
+		return
+	}
+	switch e.Kind {
+	case TxnArrive:
+		o.arrive = e.Time
+		o.span.Occupancy = e.Aux
+	case TxnService:
+		o.service = e.Time
+		o.serviceLat = e.Aux
+	case TxnInval:
+		o.invalExtra = e.Aux
+	case TxnProbe:
+		o.forwarded = true
+		o.probe = e.Time
+		o.span.Owner = e.Core
+	case TxnDefer:
+		o.span.Deferred = true
+	case TxnProbeDone:
+		o.probeDone = e.Time
+	case TxnComplete:
+		delete(sp.open, id)
+		o.span.End = e.Time
+		sp.finalize(o)
+	}
+}
+
+// finalize computes the phase breakdown and folds the span into the
+// aggregates. Phases are consecutive critical-path segments, so they sum
+// exactly to End-Begin; PhaseTransfer is the closing remainder.
+func (sp *Spans) finalize(o *openSpan) {
+	s := &o.span
+	s.Phases[PhaseReqNet] = o.arrive - s.Begin
+	s.Phases[PhaseQueue] = o.service - o.arrive
+	if o.forwarded {
+		s.Phases[PhaseDirService] = o.probe - o.service
+		s.Phases[PhaseDefer] = o.probeDone - o.probe
+		s.Phases[PhaseTransfer] = s.End - o.probeDone
+	} else {
+		lat := o.serviceLat
+		if rest := s.End - o.service; lat > rest {
+			lat = rest
+		}
+		s.Phases[PhaseDirService] = lat
+		s.Phases[PhaseInval] = o.invalExtra
+		s.Phases[PhaseTransfer] = s.End - o.service - lat - o.invalExtra
+	}
+
+	if s.Begin >= sp.WindowStart {
+		sp.stats.Spans++
+		sp.stats.SpanCycles += s.Total()
+		if s.Deferred {
+			sp.stats.Deferred++
+		}
+		for i, c := range s.Phases {
+			sp.stats.Phase[i] += c
+		}
+		p := sp.pendingFor(s.Core)
+		p.spans++
+		p.txnCycles += s.Total()
+		if s.Deferred {
+			p.deferred++
+		}
+		for i, c := range s.Phases {
+			p.phase[i] += c
+		}
+	}
+	if sp.Keep {
+		sp.Completed = append(sp.Completed, *s)
+	}
+	if sp.OnComplete != nil {
+		sp.OnComplete(s)
+	}
+}
+
+func (sp *Spans) pendingFor(core int) *pendingOp {
+	for core >= len(sp.pending) {
+		sp.pending = append(sp.pending, pendingOp{})
+	}
+	return &sp.pending[core]
+}
+
+// OpEnd closes one data structure operation on a core: the harness calls
+// it with the operation's [start, end) cycle window and whether the
+// operation lies inside the measurement window. Spans completed on the
+// core since the previous boundary are attributed to the operation;
+// measured operations roll up into the op-level accounting, unmeasured
+// ones only reset the pending state.
+func (sp *Spans) OpEnd(core int, start, end uint64, measured bool) {
+	p := sp.pendingFor(core)
+	if measured {
+		sp.stats.Ops++
+		sp.stats.OpCycles += end - start
+		sp.stats.OpTxnCycles += p.txnCycles
+		sp.stats.OpOtherCycles += (end - start) - p.txnCycles
+		for i, c := range p.phase {
+			sp.stats.OpPhase[i] += c
+		}
+	}
+	*p = pendingOp{}
+}
+
+// PhaseCycles is one row of a rendered cycle-accounting breakdown.
+type PhaseCycles struct {
+	Name   string
+	Cycles uint64
+}
+
+// Breakdown lists the per-phase totals in canonical phase order, followed
+// by the op-level "other" bucket (L1 hits + local compute) when operation
+// accounting is present.
+func (t *TxnStats) Breakdown() []PhaseCycles {
+	out := make([]PhaseCycles, 0, NumPhases+1)
+	for p := Phase(0); p < NumPhases; p++ {
+		out = append(out, PhaseCycles{p.String(), t.Phase[p]})
+	}
+	if t.Ops > 0 {
+		out = append(out, PhaseCycles{"l1+compute", t.OpOtherCycles})
+	}
+	return out
+}
+
+// TxnPhases is the named-field form of a per-phase cycle split.
+type TxnPhases struct {
+	ReqNet     uint64 `json:"req_net_cycles"`
+	QueueWait  uint64 `json:"dir_queue_wait_cycles"`
+	DirService uint64 `json:"dir_service_cycles"`
+	InvalWait  uint64 `json:"inval_fanout_cycles"`
+	DeferWait  uint64 `json:"probe_defer_cycles"`
+	Transfer   uint64 `json:"data_transfer_cycles"`
+}
+
+func phasesOf(p [NumPhases]uint64) TxnPhases {
+	return TxnPhases{
+		ReqNet:     p[PhaseReqNet],
+		QueueWait:  p[PhaseQueue],
+		DirService: p[PhaseDirService],
+		InvalWait:  p[PhaseInval],
+		DeferWait:  p[PhaseDefer],
+		Transfer:   p[PhaseTransfer],
+	}
+}
+
+// Vec returns the split back in canonical Phase order.
+func (t TxnPhases) Vec() [NumPhases]uint64 {
+	var v [NumPhases]uint64
+	v[PhaseReqNet] = t.ReqNet
+	v[PhaseQueue] = t.QueueWait
+	v[PhaseDirService] = t.DirService
+	v[PhaseInval] = t.InvalWait
+	v[PhaseDefer] = t.DeferWait
+	v[PhaseTransfer] = t.Transfer
+	return v
+}
+
+// TxnSummary is the JSON form of TxnStats, as embedded in run reports.
+// Phases covers every window transaction; OpPhases only the transactions
+// attributed to measured operations, so OpCycles == OpOtherCycles +
+// sum(OpPhases) exactly.
+type TxnSummary struct {
+	Count       uint64    `json:"count"`
+	Deferred    uint64    `json:"deferred"`
+	TotalCycles uint64    `json:"total_cycles"`
+	Phases      TxnPhases `json:"phases"`
+
+	Ops           uint64     `json:"ops,omitempty"`
+	OpCycles      uint64     `json:"op_cycles,omitempty"`
+	OpTxnCycles   uint64     `json:"op_txn_cycles,omitempty"`
+	OpOtherCycles uint64     `json:"op_other_cycles,omitempty"`
+	OpPhases      *TxnPhases `json:"op_phases,omitempty"`
+}
+
+// Summary converts the accounting to its JSON form.
+func (t *TxnStats) Summary() TxnSummary {
+	s := TxnSummary{
+		Count: t.Spans, Deferred: t.Deferred, TotalCycles: t.SpanCycles,
+		Phases: phasesOf(t.Phase),
+		Ops:    t.Ops, OpCycles: t.OpCycles,
+		OpTxnCycles: t.OpTxnCycles, OpOtherCycles: t.OpOtherCycles,
+	}
+	if t.Ops > 0 {
+		op := phasesOf(t.OpPhase)
+		s.OpPhases = &op
+	}
+	return s
+}

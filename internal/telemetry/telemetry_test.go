@@ -115,9 +115,9 @@ func TestHotLinesRankingDeterministic(t *testing.T) {
 		for _, i := range order {
 			l := mem.Line(i)
 			s := h.Get(l)
-			s.Msgs = uint64(i % 3)      // many score ties
-			s.Deferred = uint64(i % 2)  // tie-break level 1
-			s.Invals = uint64(i % 2)    // tie-break level 2
+			s.Msgs = uint64(i % 3)     // many score ties
+			s.Deferred = uint64(i % 2) // tie-break level 1
+			s.Invals = uint64(i % 2)   // tie-break level 2
 		}
 		return h.Top(10)
 	}

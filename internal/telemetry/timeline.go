@@ -23,7 +23,12 @@ type Timeline struct {
 	open   map[openKey]uint64 // countdown-start cycle per (core, line)
 	events []chromeEvent
 	cores  map[int]bool
+	hasDir bool // a txn span used the directory track
 }
+
+// dirTid is the synthetic thread id of the directory track; it sits far
+// above any plausible core id so the viewer shows it below the cores.
+const dirTid = 1 << 20
 
 type openKey struct {
 	core int
@@ -40,7 +45,9 @@ type chromeEvent struct {
 	Dur   *float64   `json:"dur,omitempty"`
 	Pid   int        `json:"pid"`
 	Tid   int        `json:"tid"`
+	ID    string     `json:"id,omitempty"` // flow / async event id
 	Scope string     `json:"s,omitempty"`
+	BP    string     `json:"bp,omitempty"` // flow binding point ("e" = enclosing slice)
 	Args  *traceArgs `json:"args,omitempty"`
 }
 
@@ -49,6 +56,11 @@ type traceArgs struct {
 	Reason     string `json:"reason,omitempty"`
 	HoldCycles uint64 `json:"hold_cycles,omitempty"`
 	Name       string `json:"name,omitempty"`
+	Txn        string `json:"txn,omitempty"`
+	Cycles     uint64 `json:"cycles,omitempty"`
+	Excl       bool   `json:"excl,omitempty"`
+	Deferred   bool   `json:"deferred,omitempty"`
+	Owner      string `json:"owner,omitempty"`
 }
 
 // NewTimeline creates a timeline exporter; cyclesPerUS <= 0 selects the
@@ -126,6 +138,83 @@ func (t *Timeline) instant(core int, now uint64, name string, l mem.Line) {
 	})
 }
 
+// OnTxnSpan renders one completed coherence-transaction span: an outer
+// slice on the requesting core's track with nested per-phase slices (the
+// phases are consecutive, so nesting is exact), an async slice on the
+// directory track covering the directory's involvement, and a flow arrow
+// chain requester -> directory [-> owner] -> requester. Recorder wires it
+// as Spans.OnComplete when both spans and a timeline are enabled.
+func (t *Timeline) OnTxnSpan(s *Span) {
+	t.cores[s.Core] = true
+	t.hasDir = true
+	id := fmt.Sprintf("%#x", s.ID)
+	lineHex := fmt.Sprintf("%#x", uint64(s.Line))
+
+	// Outer transaction slice with the full breakdown in its args.
+	dur := t.us(s.End - s.Begin)
+	args := &traceArgs{
+		Line: lineHex, Txn: id, Cycles: s.End - s.Begin,
+		Excl: s.Excl, Deferred: s.Deferred,
+	}
+	if s.Owner >= 0 {
+		args.Owner = fmt.Sprintf("core %d", s.Owner)
+	}
+	t.events = append(t.events, chromeEvent{
+		Name: "txn " + lineName(s.Line), Cat: "txn", Ph: "X",
+		Ts: t.us(s.Begin), Dur: &dur, Pid: 0, Tid: s.Core, Args: args,
+	})
+
+	// Nested phase slices, laid end to end from Begin.
+	cursor := s.Begin
+	for p := Phase(0); p < NumPhases; p++ {
+		c := s.Phases[p]
+		if c != 0 {
+			d := t.us(c)
+			t.events = append(t.events, chromeEvent{
+				Name: p.String(), Cat: "txn", Ph: "X",
+				Ts: t.us(cursor), Dur: &d, Pid: 0, Tid: s.Core,
+				Args: &traceArgs{Txn: id, Cycles: c},
+			})
+		}
+		cursor += c
+	}
+
+	// Directory involvement as an async slice: from request arrival to
+	// the end of directory service (probe dispatch on the forward path,
+	// service + invalidation fan-out otherwise).
+	arrive := s.Begin + s.Phases[PhaseReqNet]
+	service := arrive + s.Phases[PhaseQueue]
+	dirEnd := service + s.Phases[PhaseDirService] + s.Phases[PhaseInval]
+	t.events = append(t.events,
+		chromeEvent{
+			Name: lineName(s.Line), Cat: "txn", Ph: "b",
+			Ts: t.us(arrive), Pid: 0, Tid: dirTid, ID: id,
+			Args: &traceArgs{Line: lineHex, Txn: id},
+		},
+		chromeEvent{
+			Name: lineName(s.Line), Cat: "txn", Ph: "e",
+			Ts: t.us(dirEnd), Pid: 0, Tid: dirTid, ID: id,
+		})
+
+	// Flow arrows: requester -> directory [-> owner] -> requester.
+	t.events = append(t.events,
+		chromeEvent{Name: "coherence", Cat: "txn", Ph: "s",
+			Ts: t.us(s.Begin), Pid: 0, Tid: s.Core, ID: id},
+		chromeEvent{Name: "coherence", Cat: "txn", Ph: "t",
+			Ts: t.us(arrive), Pid: 0, Tid: dirTid, ID: id})
+	if s.Owner >= 0 {
+		t.cores[s.Owner] = true
+		t.events = append(t.events, chromeEvent{
+			Name: "coherence", Cat: "txn", Ph: "t",
+			Ts: t.us(service + s.Phases[PhaseDirService]), Pid: 0, Tid: s.Owner, ID: id,
+		})
+	}
+	t.events = append(t.events, chromeEvent{
+		Name: "coherence", Cat: "txn", Ph: "f", BP: "e",
+		Ts: t.us(s.End), Pid: 0, Tid: s.Core, ID: id,
+	})
+}
+
 // Finish closes any still-open lease intervals at simulated time now (the
 // end of the run). Keys are visited in sorted order so the output stays
 // deterministic.
@@ -163,6 +252,12 @@ func (t *Timeline) Write(w io.Writer) error {
 		all = append(all, chromeEvent{
 			Name: "thread_name", Ph: "M", Pid: 0, Tid: c,
 			Args: &traceArgs{Name: fmt.Sprintf("core %d", c)},
+		})
+	}
+	if t.hasDir {
+		all = append(all, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: dirTid,
+			Args: &traceArgs{Name: "directory"},
 		})
 	}
 	all = append(all, t.events...)
