@@ -11,11 +11,19 @@
 //	leasebench -exp all -quick -parallel 4 -perfjson BENCH_host.json
 //	leasebench -exp all -serve :9090
 //	leasebench -compare old.json new.json [-threshold 5]
+//	leasebench history [-dir .leasehistory] [-note s] run.json...
+//	leasebench report [-dir .leasehistory] [-o lease-report.html] [run.json...]
 //
 // -compare diffs two `leasesim -json` report files per configuration
 // (ops, throughput, latency percentiles, messages per op); changes that
-// regress by more than -threshold percent are marked '!' and the exit
-// status is 1 when any exist. -serve exposes live sweep introspection
+// regress by more than -threshold percent are marked '!', a one-line
+// verdict goes to stderr, and the exit status is 1 when any exist.
+// `history` appends per-run summary metrics from `leasesim -json` files
+// to an append-only JSONL store keyed by configuration and git revision;
+// `report` renders the store plus optional current-run files into a
+// single self-contained HTML report (sweep tables, histogram sparklines,
+// lease-ledger rankings, cross-run trend lines — no external assets).
+// -serve exposes live sweep introspection
 // (per-experiment cell progress, pool occupancy, simulated-cycles/s) over
 // HTTP while experiments run; see cmd/leasesim for the endpoints.
 //
@@ -80,6 +88,17 @@ type PerfReport struct {
 }
 
 func main() {
+	// Subcommands of the report pipeline dispatch before the global flag
+	// set: `leasebench history ...` and `leasebench report ...` have their
+	// own flags (see runHistory/runReport).
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "history":
+			os.Exit(runHistory(os.Args[2:]))
+		case "report":
+			os.Exit(runReport(os.Args[2:]))
+		}
+	}
 	var (
 		exp     = flag.String("exp", "", "experiment id to run, or 'all'")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
@@ -123,7 +142,16 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Printf("## compare %s -> %s\n", flag.Arg(0), flag.Arg(1))
-		if bench.CompareReports(os.Stdout, oldReps, newReps, *threshold) > 0 {
+		regressions, compared := bench.CompareReports(os.Stdout, oldReps, newReps, *threshold)
+		// One-line verdict on stderr so CI logs carry the outcome without
+		// scraping the stdout table.
+		verdict := "OK"
+		if regressions > 0 {
+			verdict = "REGRESSED"
+		}
+		fmt.Fprintf(os.Stderr, "leasebench: -compare %s: %d configs compared, %d regressions beyond %.1f%%\n",
+			verdict, compared, regressions, *threshold)
+		if regressions > 0 {
 			os.Exit(1)
 		}
 		return
@@ -234,6 +262,94 @@ func main() {
 		exit(1)
 	}
 	exit(0)
+}
+
+// runHistory implements `leasebench history [-dir D] [-note s] run.json...`:
+// every report in the given `leasesim -json` files is summarized into one
+// line of the append-only JSONL store, keyed by configuration and the
+// working tree's git revision.
+func runHistory(args []string) int {
+	fs := flag.NewFlagSet("history", flag.ExitOnError)
+	dir := fs.String("dir", ".leasehistory", "history store directory")
+	note := fs.String("note", "", "free-form note attached to each entry")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: leasebench history [-dir D] [-note s] run.json...")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+	var reports []bench.Report
+	for _, path := range fs.Args() {
+		reps, err := bench.ReadReportFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "leasebench: history: %v\n", err)
+			return 2
+		}
+		reports = append(reports, reps...)
+	}
+	entries, err := bench.AppendHistory(*dir, bench.GitSHA(), *note, reports, time.Now())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "leasebench: history: %v\n", err)
+		return 1
+	}
+	for _, e := range entries {
+		fmt.Printf("recorded %s (%.3f Mops/s)\n", e.Key, e.MopsPerSec)
+	}
+	fmt.Printf("%d entries appended to %s\n", len(entries), *dir)
+	return 0
+}
+
+// runReport implements `leasebench report [-dir D] [-o F] [run.json...]`:
+// render the self-contained HTML report from the history store plus any
+// current-run report files (which supply the sweep table, histogram
+// sparklines, and ledger rankings).
+func runReport(args []string) int {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	dir := fs.String("dir", ".leasehistory", "history store directory")
+	out := fs.String("o", "lease-report.html", "output HTML file")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: leasebench report [-dir D] [-o F] [run.json...]")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	var current []bench.Report
+	for _, path := range fs.Args() {
+		reps, err := bench.ReadReportFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "leasebench: report: %v\n", err)
+			return 2
+		}
+		current = append(current, reps...)
+	}
+	history, err := bench.ReadHistory(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "leasebench: report: %v\n", err)
+		return 1
+	}
+	if len(current) == 0 && len(history) == 0 {
+		fmt.Fprintf(os.Stderr, "leasebench: report: nothing to render (no report files, empty history in %s)\n", *dir)
+		return 1
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "leasebench: report: %v\n", err)
+		return 1
+	}
+	if err := bench.WriteHTMLReport(f, current, history, bench.GitSHA(), time.Now()); err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "leasebench: report: %v\n", err)
+		return 1
+	}
+	fmt.Printf("report written to %s (%d current runs, %d history entries)\n",
+		*out, len(current), len(history))
+	return 0
 }
 
 // writePerf fills in speedups against the optional baseline file and

@@ -24,7 +24,11 @@
 // Every run records telemetry (latency/hold-time/queue histograms and the
 // per-line contention profile). -spans additionally records per-coherence-
 // transaction spans and reports the critical-path cycle accounting ("where
-// the cycles went"); -json switches the report to machine-readable JSON;
+// the cycles went"); -ledger records the per-line lease-efficiency ledger
+// (granted vs. used cycles, ops absorbed per lease, deferral inflicted)
+// and prints its top-N tables; -json switches the report to machine-
+// readable JSON (-compactbuckets shrinks histogram bucket arrays to
+// [lo,count] pairs there);
 // -timeline additionally writes a Chrome trace-event file loadable in
 // chrome://tracing or https://ui.perfetto.dev showing each core's lease
 // intervals — and, with spans, nested transaction slices with flow arrows —
@@ -92,6 +96,8 @@ func main() {
 		faultsOn   = flag.Bool("faults", false, "enable deterministic protocol-legal fault injection")
 		strict     = flag.Bool("strict", false, "abort the sweep at the first failed cell")
 		spans      = flag.Bool("spans", false, "trace coherence-transaction spans and report the cycle accounting")
+		ledger     = flag.Bool("ledger", false, "account per-line lease efficiency (granted/used/wasted cycles, ops absorbed, deferral inflicted)")
+		compactB   = flag.Bool("compactbuckets", false, "with -json, emit histogram buckets as compact [lo,count] pairs")
 		serveAddr  = flag.String("serve", "", "serve live sweep introspection over HTTP on this address (e.g. :9090)")
 
 		parallel = flag.Int("parallel", 0, "worker pool size for sweep cells (0 = GOMAXPROCS, 1 = serial)")
@@ -153,7 +159,7 @@ func main() {
 			predictor: *predictor, multi: *multi, seed: *seed,
 			jsonOut: *jsonOut, hotlines: *hotlines, timeline: tl,
 			samples: *samples, invariants: *invariants, faults: *faultsOn,
-			spans:    *spans,
+			spans: *spans, ledger: *ledger, compactBuckets: *compactB,
 			progress: prog.Cell(fmt.Sprintf("%s/t%d", *dsName, n)),
 		}
 		futures[i] = bench.Go(pool, func() cellResult {
@@ -199,6 +205,8 @@ type cell struct {
 	samples             int
 	invariants, faults  bool
 	spans               bool
+	ledger              bool
+	compactBuckets      bool
 	progress            *bench.CellProgress
 }
 
@@ -296,6 +304,9 @@ func runCell(c cell, out, errOut io.Writer) bool {
 	if c.spans || c.timeline != "" {
 		rec.EnableSpans() // with -timeline, spans become nested txn slices
 	}
+	if c.ledger {
+		rec.EnableLedger()
+	}
 	c.progress.Start()
 	defer c.progress.Done()
 	var hooks []func(*machine.Machine)
@@ -350,6 +361,9 @@ func runCell(c cell, out, errOut io.Writer) bool {
 		rep := bench.BuildReport(c.ds, c.threads, c.lease, cfg, c.warm, c.cycles, r, rec, c.hotlines)
 		rep.Aborts = aborts
 		rep.TimelineFile = c.timeline
+		if c.compactBuckets {
+			bench.CompactReportBuckets(&rep)
+		}
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
@@ -417,6 +431,32 @@ func runCell(c cell, out, errOut io.Writer) bool {
 			fmt.Fprintf(out, "%-12s %10d %10d %8d %10d %10d %8d %8d\n",
 				h.Line, h.Score, h.Msgs, h.Invals, h.Deferred, h.DeferredCycles, h.Leases, h.MaxQueue)
 		}
+	}
+
+	if led := r.LeaseLedger; led != nil {
+		fmt.Fprintf(out, "\nlease-efficiency ledger (%d leases closed, %d expired, %d open at end):\n",
+			led.Leases, led.Expired, led.OpenAtEnd)
+		fmt.Fprintf(out, "granted %d cycles, used %d (efficiency %.3f), unused %d, wasted %d\n",
+			led.GrantedCycles, led.UsedCycles, led.Efficiency,
+			led.UnusedCycles, led.UnusedCycles+led.ExpiredIdleCycles)
+		fmt.Fprintf(out, "ops absorbed %d (%.1f per lease), deferral inflicted %d cycles over %d txns\n",
+			led.OpsUnder, led.Amortization, led.DeferInflictedCycles, led.DeferredTxns)
+		printLedgerRows := func(title string, rows []bench.LedgerRow) {
+			if len(rows) == 0 {
+				return
+			}
+			fmt.Fprintf(out, "%s:\n", title)
+			fmt.Fprintf(out, "%-12s %8s %8s %10s %10s %10s %6s %9s %10s %10s\n",
+				"line", "leases", "expired", "granted", "used", "wasted", "eff", "ops/lease", "deferinfl", "hotscore")
+			for _, l := range rows {
+				fmt.Fprintf(out, "%-12s %8d %8d %10d %10d %10d %6.3f %9.1f %10d %10d\n",
+					l.Line, l.Leases, l.Expired, l.GrantedCycles, l.UsedCycles,
+					l.WastedCycles, l.Efficiency, l.Amortization,
+					l.DeferInflictedCycles, l.HotScore)
+			}
+		}
+		printLedgerRows("top wasted cycles", bench.LedgerRows(led.TopWasted, rec))
+		printLedgerRows("top deferral inflicted", bench.LedgerRows(led.TopDeferInflicted, rec))
 	}
 
 	if len(r.Series) > 0 {

@@ -93,9 +93,11 @@ func fmtDelta(pct float64, higherIsBetter bool, thresholdPct float64, regression
 // CompareReports prints a per-configuration delta table (ops, throughput,
 // latency percentiles, messages/op) between two report sets, matching rows
 // on (ds, threads, lease). Metrics whose relative change regresses by more
-// than thresholdPct are marked with '!'; the count of such regressions is
-// returned (0 when thresholdPct is 0, i.e. highlighting disabled).
-func CompareReports(w io.Writer, old, new []Report, thresholdPct float64) int {
+// than thresholdPct are marked with '!'; it returns the count of such
+// regressions (0 when thresholdPct is 0, i.e. highlighting disabled) and
+// the number of matched configurations, so callers can emit a one-line
+// verdict separately from the table.
+func CompareReports(w io.Writer, old, new []Report, thresholdPct float64) (regressionCount, compared int) {
 	oldBy := make(map[compareKey]*Report, len(old))
 	for i := range old {
 		r := &old[i]
@@ -134,7 +136,7 @@ func CompareReports(w io.Writer, old, new []Report, thresholdPct float64) int {
 		fmt.Fprintf(w, ", %d regressions beyond %.1f%% (marked '!')", regressions, thresholdPct)
 	}
 	fmt.Fprintln(w)
-	return regressions
+	return regressions, matched
 }
 
 // sortedKeys returns the map's keys in deterministic (string) order.

@@ -62,11 +62,14 @@ func TestCompareReportsRegressions(t *testing.T) {
 	}
 
 	var buf bytes.Buffer
-	got := CompareReports(&buf, old, cur, 5)
+	got, compared := CompareReports(&buf, old, cur, 5)
 	out := buf.String()
 
 	if got != 2 {
 		t.Errorf("regressions = %d, want 2\n%s", got, out)
+	}
+	if compared != 2 {
+		t.Errorf("compared = %d, want 2\n%s", compared, out)
 	}
 	for _, want := range []string{
 		"counter/t4/lease", "counter/t8/lease",
@@ -82,7 +85,7 @@ func TestCompareReportsRegressions(t *testing.T) {
 
 	// Threshold 0 disables highlighting entirely.
 	buf.Reset()
-	if got := CompareReports(&buf, old, cur, 0); got != 0 {
+	if got, _ := CompareReports(&buf, old, cur, 0); got != 0 {
 		t.Errorf("threshold 0 still reported %d regressions", got)
 	}
 	if strings.Contains(buf.String(), "!") {

@@ -135,6 +135,7 @@ func runTable1(w io.Writer, p Params) {
 func measured(cfg machine.Config, n int, p Params, build func(d *machine.Direct) OpFunc, cp *CellProgress) Result {
 	rec := telemetry.NewRecorder()
 	rec.EnableSpans()
+	rec.EnableLedger()
 	return ThroughputOpts(cfg, n, p.Warm, p.Window, build,
 		Options{Recorder: rec, Progress: cp})
 }
@@ -169,6 +170,13 @@ func runFig2(w io.Writer, p Params) {
 		WhereCyclesWentRow(ct, n, rows[i].lease.Get().Txns)
 	}
 	ct.Print(w)
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "lease-efficiency ledger (leased stack):")
+	lt := NewLedgerTable()
+	for i, n := range threads {
+		LedgerTableRow(lt, n, rows[i].lease.Get().LeaseLedger)
+	}
+	lt.Print(w)
 }
 
 // fmtP5099 renders a latency digest as "p50/p99" cycles.
@@ -208,6 +216,34 @@ func runFig3Counter(w io.Writer, p Params) {
 		WhereCyclesWentRow(ct, n, rows[i].lease.Get().Txns)
 	}
 	ct.Print(w)
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "lease-efficiency ledger (leased counter):")
+	lt := NewLedgerTable()
+	for i, n := range p.Threads {
+		LedgerTableRow(lt, n, rows[i].lease.Get().LeaseLedger)
+	}
+	lt.Print(w)
+}
+
+// NewLedgerTable starts the sweep-level lease-ledger table: one row per
+// thread count summarizing whether that configuration's leases earned
+// their keep.
+func NewLedgerTable() *Table {
+	return NewTable("threads", "leases", "expired", "efficiency", "ops/lease",
+		"unused cyc", "wasted cyc", "defer-inflicted cyc")
+}
+
+// LedgerTableRow appends one configuration's ledger totals. A nil or
+// lease-free summary appends a dash row.
+func LedgerTableRow(t *Table, label interface{}, led *telemetry.LedgerSummary) {
+	if led == nil || led.Leases == 0 {
+		t.Row(label, "-", "-", "-", "-", "-", "-", "-")
+		return
+	}
+	t.Row(label, led.Leases, led.Expired,
+		led.Efficiency, led.Amortization,
+		led.UnusedCycles, led.UnusedCycles+led.ExpiredIdleCycles,
+		led.DeferInflictedCycles)
 }
 
 // WhereCyclesWentRow appends one row of a critical-path cycle-accounting

@@ -36,6 +36,10 @@ type Report struct {
 	// Txns is the coherence-transaction cycle accounting (span tracing).
 	Txns *telemetry.TxnSummary `json:"txn_accounting,omitempty"`
 
+	// LeaseLedger is the lease-efficiency accounting (-ledger), with the
+	// ranked lines joined against the hot-line contention profile.
+	LeaseLedger *LedgerReport `json:"lease_ledger,omitempty"`
+
 	Counters Counters     `json:"counters"`
 	HotLines []HotLineRow `json:"hot_lines,omitempty"`
 	Series   []Sample     `json:"series,omitempty"`
@@ -122,6 +126,52 @@ func HotLineRows(rec *telemetry.Recorder, k int) []HotLineRow {
 	return rows
 }
 
+// LedgerRow is one ranked ledger line joined with its hot-line profile
+// counters: lease efficiency alongside the contention that motivated (or
+// should motivate) the lease.
+type LedgerRow struct {
+	telemetry.LedgerLineSummary
+	HotScore uint64 `json:"hotline_score"`
+	Msgs     uint64 `json:"msgs"`
+	Invals   uint64 `json:"invalidations"`
+}
+
+// LedgerReport is the lease-ledger section of a run report: run totals
+// plus the two top-N rankings, each row joined with the hot-line profile.
+type LedgerReport struct {
+	telemetry.LedgerTotals
+	TopWasted         []LedgerRow `json:"top_wasted,omitempty"`
+	TopDeferInflicted []LedgerRow `json:"top_defer_inflicted,omitempty"`
+}
+
+// LedgerRows joins ranked ledger lines with the recorder's hot-line
+// counters (zero counters when the profiler never saw the line).
+func LedgerRows(lines []telemetry.LedgerLineSummary, rec *telemetry.Recorder) []LedgerRow {
+	rows := make([]LedgerRow, 0, len(lines))
+	for _, ls := range lines {
+		row := LedgerRow{LedgerLineSummary: ls}
+		if rec != nil && rec.Lines.Len() > 0 {
+			s := rec.Lines.Get(ls.Addr)
+			row.HotScore, row.Msgs, row.Invals = s.Score(), s.Msgs, s.Invals
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// BuildLedgerReport converts a run's ledger summary to report form,
+// joining against rec's hot-line profile. Nil in, nil out.
+func BuildLedgerReport(sum *telemetry.LedgerSummary, rec *telemetry.Recorder) *LedgerReport {
+	if sum == nil {
+		return nil
+	}
+	return &LedgerReport{
+		LedgerTotals:      sum.LedgerTotals,
+		TopWasted:         LedgerRows(sum.TopWasted, rec),
+		TopDeferInflicted: LedgerRows(sum.TopDeferInflicted, rec),
+	}
+}
+
 // BuildReport assembles the JSON report for one telemetry-enabled run.
 func BuildReport(ds string, threads int, lease bool, cfg machine.Config,
 	warm, window uint64, r Result, rec *telemetry.Recorder, hotK int) Report {
@@ -140,8 +190,21 @@ func BuildReport(ds string, threads int, lease bool, cfg machine.Config,
 	if rec != nil && hotK > 0 {
 		rep.HotLines = HotLineRows(rec, hotK)
 	}
+	rep.LeaseLedger = BuildLedgerReport(r.LeaseLedger, rec)
 	if r.Err != nil {
 		rep.Error = r.Err.Error()
 	}
 	return rep
+}
+
+// CompactReportBuckets rewrites every histogram digest in rep to the
+// compacted [lo, count] bucket pair form (`leasesim -compactbuckets`).
+// The default path never calls this, so default reports stay
+// byte-identical.
+func CompactReportBuckets(rep *Report) {
+	for _, s := range []*telemetry.Summary{rep.OpLatency, rep.LeaseHold, rep.ProbeDefer, rep.DirQueue} {
+		if s != nil {
+			s.Compact()
+		}
+	}
 }

@@ -55,6 +55,11 @@ type Result struct {
 	// (Recorder.EnableSpans); nil otherwise.
 	Txns *telemetry.TxnSummary
 
+	// LeaseLedger is the lease-efficiency accounting (per-lease granted vs.
+	// used cycles, ops absorbed, deferral inflicted), filled when the
+	// recorder had the ledger enabled (Recorder.EnableLedger); nil otherwise.
+	LeaseLedger *telemetry.LedgerSummary
+
 	// Series holds the periodic time-series samples of windowed Stats
 	// deltas (Options.Samples sub-windows); nil when sampling is off.
 	Series []Sample
@@ -147,12 +152,18 @@ func throughputGuarded(cfg machine.Config, threads int, warm, window uint64,
 	}
 	rec := o.Recorder
 	var spans *telemetry.Spans
+	var ledger *telemetry.Ledger
 	if rec != nil {
 		spans = rec.Spans
 		if spans != nil {
 			// Align span accounting with the measured window: spans of
 			// warm-up transactions are assembled but not aggregated.
 			spans.WindowStart = warm
+		}
+		ledger = rec.Ledger
+		if ledger != nil {
+			// Same window convention: warm-up leases are not accounted.
+			ledger.WindowStart = warm
 		}
 		rec.Attach(m.Telemetry())
 	}
@@ -169,6 +180,9 @@ func throughputGuarded(cfg machine.Config, threads int, warm, window uint64,
 			if spans != nil {
 				// Threads spawn on cores in order, so tid == core id.
 				spans.OpEnd(tid, start, end, start >= warm)
+			}
+			if ledger != nil {
+				ledger.OpEnd(tid, start >= warm)
 			}
 		}
 	}
@@ -274,9 +288,17 @@ func throughputGuarded(cfg machine.Config, threads int, warm, window uint64,
 			sum := st.Summary()
 			r.Txns = &sum
 		}
+		if ledger != nil {
+			sum := ledger.Summary(LedgerTopN)
+			r.LeaseLedger = &sum
+		}
 	}
 	return r, nil
 }
+
+// LedgerTopN is how many lines the ledger's top-wasted and top-deferral
+// rankings carry in Result.LeaseLedger and JSON reports.
+const LedgerTopN = 10
 
 func summaryOf(h *telemetry.Hist) *telemetry.Summary {
 	s := h.Summary()

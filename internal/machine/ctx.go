@@ -187,7 +187,7 @@ func (c *Ctx) LeaseAt(site uint64, a mem.Addr, dur uint64) {
 		// Already owned Exclusive: the lease starts immediately.
 		if started := cs.leases.Start(l, c.p.Clock()); started != nil {
 			cs.l1.Pin(l)
-			c.m.trace(cs.id, TraceStart, l)
+			c.m.traceVal(cs.id, TraceStart, l, started.Duration)
 			c.m.scheduleExpiry(cs, started)
 		}
 		c.p.Work(c.m.cfg.L1HitLat)
@@ -271,7 +271,7 @@ func (c *Ctx) MultiLease(dur uint64, addrs ...mem.Addr) bool {
 	}
 	c.p.Sync()
 	for _, e := range cs.leases.StartGroup(c.p.Clock()) {
-		c.m.trace(cs.id, TraceStart, e.Line)
+		c.m.traceVal(cs.id, TraceStart, e.Line, e.Duration)
 		c.m.scheduleExpiry(cs, e)
 	}
 	return true

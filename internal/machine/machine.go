@@ -394,7 +394,7 @@ func (d *dirEnv) Complete(req *coherence.Request, st cache.State) {
 				cs.l1.Pin(req.Line)
 			} else if started := cs.leases.Start(req.Line, m.eng.Now()); started != nil {
 				cs.l1.Pin(req.Line)
-				m.trace(cs.id, TraceStart, req.Line)
+				m.traceVal(cs.id, TraceStart, req.Line, started.Duration)
 				m.scheduleExpiry(cs, started)
 			}
 		}

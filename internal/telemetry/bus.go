@@ -61,7 +61,7 @@ func (c Category) String() string {
 // only on the bus (it carries the deferral delay, not a lease transition).
 const (
 	LeaseCreated  uint8 = iota // lease table entry created
-	LeaseStarted               // ownership granted, countdown running
+	LeaseStarted               // ownership granted, countdown running; Val = granted duration
 	LeaseReleased              // voluntary release; Val = hold cycles
 	LeaseExpired               // MAX_LEASE_TIME timer fired; Val = hold cycles
 	LeaseEvicted               // FIFO-evicted by a newer lease; Val = hold cycles or NoVal

@@ -25,6 +25,12 @@ type Recorder struct {
 	// subscribes CatTxn only when it is set, preserving the zero-overhead
 	// disabled path.
 	Spans *Spans
+
+	// Ledger, when non-nil (EnableLedger), folds lease-lifecycle and
+	// transaction events into the per-line lease-efficiency ledger. Like
+	// Spans it makes Attach subscribe CatTxn; when disabled the fast path
+	// stays cold.
+	Ledger *Ledger
 }
 
 // NewRecorder returns an empty recorder.
@@ -45,6 +51,13 @@ func (r *Recorder) EnableSpans() *Spans {
 	return r.Spans
 }
 
+// EnableLedger attaches a lease-efficiency ledger and returns it. Call
+// before Attach.
+func (r *Recorder) EnableLedger() *Ledger {
+	r.Ledger = NewLedger()
+	return r.Ledger
+}
+
 // Attach subscribes the recorder to every category it consumes. CatTxn is
 // subscribed only when spans are enabled, so the transaction-ID minting
 // fast path (Bus.Wants(CatTxn)) stays cold otherwise.
@@ -58,6 +71,9 @@ func (r *Recorder) Attach(b *Bus) {
 			r.Spans.OnComplete = r.Timeline.OnTxnSpan
 		}
 		b.Subscribe(CatTxn, r.Spans.OnEvent)
+	}
+	if r.Ledger != nil {
+		b.Subscribe(CatTxn, r.Ledger.OnTxn)
 	}
 }
 
@@ -82,6 +98,9 @@ func (r *Recorder) onLease(e Event) {
 	}
 	if r.Timeline != nil {
 		r.Timeline.OnLease(e)
+	}
+	if r.Ledger != nil {
+		r.Ledger.OnLease(e)
 	}
 }
 
