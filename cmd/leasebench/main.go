@@ -255,7 +255,13 @@ func main() {
 	}
 	e, ok := bench.Find(*exp)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "leasebench: unknown experiment %q (use -list)\n", *exp)
+		// Fail fast with the full menu: a typo'd -exp should not cost a
+		// trip through -list.
+		fmt.Fprintf(os.Stderr, "leasebench: unknown experiment %q; valid experiments:\n", *exp)
+		for _, e := range bench.All() {
+			fmt.Fprintf(os.Stderr, "  %-20s %s\n", e.ID, e.Paper)
+		}
+		fmt.Fprintln(os.Stderr, "  all                  run every experiment")
 		os.Exit(2)
 	}
 	if !run(e) {

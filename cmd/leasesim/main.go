@@ -19,7 +19,13 @@
 // still runs, and the exit status is 1; -strict instead stops emitting at
 // the first failed cell. -invariants attaches the runtime invariant
 // checker; -faults enables deterministic protocol-legal fault injection
-// (seeded from -seed, so failures replay exactly).
+// (seeded from -seed, so failures replay exactly). -preempt N deschedules
+// cores at N permille of memory accesses for -preemptmin..-preemptmax
+// cycles (leases keep expiring while the core sleeps); -preempttargeted
+// restricts preemption to lease/write holders — the adversarial
+// stalled-holder schedule. -controller enables the adaptive
+// lease-duration controller (per-site exponential backoff of granted
+// durations after involuntary releases).
 //
 // Every run records telemetry (latency/hold-time/queue histograms and the
 // per-line contention profile). -spans additionally records per-coherence-
@@ -94,6 +100,11 @@ func main() {
 		samples    = flag.Int("sample", 0, "sample N windowed Stats deltas as a time series")
 		invariants = flag.Bool("invariants", false, "attach the runtime invariant checker (violations fail the run)")
 		faultsOn   = flag.Bool("faults", false, "enable deterministic protocol-legal fault injection")
+		preempt    = flag.Int("preempt", 0, "core-preemption probability in permille per memory access (0 disables)")
+		preemptMin = flag.Uint64("preemptmin", 500, "minimum preemption duration in cycles")
+		preemptMax = flag.Uint64("preemptmax", 40000, "maximum preemption duration in cycles")
+		preemptTgt = flag.Bool("preempttargeted", false, "preempt only lease/write holders (adversarial stalled-holder schedule)")
+		controller = flag.Bool("controller", false, "enable the adaptive lease-duration controller")
 		strict     = flag.Bool("strict", false, "abort the sweep at the first failed cell")
 		spans      = flag.Bool("spans", false, "trace coherence-transaction spans and report the cycle accounting")
 		ledger     = flag.Bool("ledger", false, "account per-line lease efficiency (granted/used/wasted cycles, ops absorbed, deferral inflicted)")
@@ -112,7 +123,12 @@ func main() {
 		os.Exit(2)
 	}
 	if !validDS(*dsName) {
-		fmt.Fprintf(os.Stderr, "leasesim: unknown -ds %q\n", *dsName)
+		fmt.Fprintf(os.Stderr, "leasesim: unknown -ds %q (valid: %s)\n",
+			*dsName, strings.Join(dsNames, ", "))
+		os.Exit(2)
+	}
+	if *preempt < 0 || *preempt > 1000 {
+		fmt.Fprintf(os.Stderr, "leasesim: -preempt %d out of range (want 0..1000 permille)\n", *preempt)
 		os.Exit(2)
 	}
 	if *dsName == "tl2" && parseMulti(*multi) < 0 {
@@ -159,6 +175,8 @@ func main() {
 			predictor: *predictor, multi: *multi, seed: *seed,
 			jsonOut: *jsonOut, hotlines: *hotlines, timeline: tl,
 			samples: *samples, invariants: *invariants, faults: *faultsOn,
+			preempt: *preempt, preemptMin: *preemptMin, preemptMax: *preemptMax,
+			preemptTargeted: *preemptTgt, controller: *controller,
 			spans: *spans, ledger: *ledger, compactBuckets: *compactB,
 			progress: prog.Cell(fmt.Sprintf("%s/t%d", *dsName, n)),
 		}
@@ -204,17 +222,27 @@ type cell struct {
 	timeline            string
 	samples             int
 	invariants, faults  bool
+	preempt             int
+	preemptMin          uint64
+	preemptMax          uint64
+	preemptTargeted     bool
+	controller          bool
 	spans               bool
 	ledger              bool
 	compactBuckets      bool
 	progress            *bench.CellProgress
 }
 
+// dsNames lists every -ds value runCell's switch dispatches on; the
+// unknown-ds error prints it so a typo fails fast with the full menu.
+var dsNames = []string{"stack", "queue", "pq", "counter", "multiqueue", "tl2",
+	"harris", "skiplist", "bst", "hash", "lfskip", "lfbst", "lfhash"}
+
 func validDS(name string) bool {
-	switch name {
-	case "stack", "queue", "pq", "counter", "multiqueue", "tl2",
-		"harris", "skiplist", "bst", "hash", "lfskip", "lfbst", "lfhash":
-		return true
+	for _, n := range dsNames {
+		if name == n {
+			return true
+		}
 	}
 	return false
 }
@@ -248,6 +276,15 @@ func runCell(c cell, out, errOut io.Writer) bool {
 		cfg.Faults = faults.DefaultConfig()
 		cfg.Faults.Seed = c.seed
 	}
+	if c.preempt > 0 {
+		cfg.Faults.Enabled = true
+		cfg.Faults.Seed = c.seed
+		cfg.Faults.PreemptPermille = c.preempt
+		cfg.Faults.PreemptMin = c.preemptMin
+		cfg.Faults.PreemptMax = c.preemptMax
+		cfg.Faults.PreemptTargeted = c.preemptTargeted
+	}
+	cfg.Controller.Enable = c.controller
 
 	lt := uint64(0)
 	if c.lease {

@@ -1,0 +1,216 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"leaserelease/internal/ds"
+	"leaserelease/internal/machine"
+)
+
+// This file implements the `degradation` experiment family: throughput
+// retention of contended-stack variants under deterministic core
+// preemption (the robustness question the paper's fault-free evaluation
+// leaves open). A preempted core simply stops issuing events for the
+// drawn duration while its lease timers keep counting down in the cache
+// hardware — so a preempted lease holder's leases expire involuntarily
+// and victims queued behind it drain after at most MAX_LEASE_TIME,
+// whereas a preempted lock holder parks every waiter for the whole
+// preemption. The sweep quantifies exactly that gap, and whether the
+// adaptive lease-duration controller narrows it further.
+
+// degradationRates is the swept per-preemption-point probability
+// (permille). Rate 0 leaves fault injection disabled entirely, so its
+// column is byte-identical to a clean run and anchors the retention
+// baseline.
+var degradationRates = []int{0, 2, 5, 10}
+
+// Preemption durations are drawn uniformly from [Min, Max]: 5-15x
+// MAX_LEASE_TIME (20K). The separation matters — a preempted lease
+// holder blocks its victims only until the lease deadline, while a
+// preempted lock holder blocks every waiter for the whole preemption,
+// so the retention gap between the variants scales with duration /
+// MAX_LEASE_TIME. With durations comparable to the lease bound the gap
+// vanishes (both stall victims about equally long) and the comparison
+// degenerates into counting eligible preemption points. Sweep windows
+// should cover many durations; use >= 10x PreemptMax (>= 3M cycles).
+const (
+	degradationPreemptMin = 100_000
+	degradationPreemptMax = 300_000
+)
+
+// degradationCfg builds the machine config for one sweep cell. Rate 0
+// keeps Faults zero so existing golden outputs are untouched; rate > 0
+// sets only the preemption fields, so no other fault draws happen and
+// the schedule is a pure function of (seed, core, rate).
+//
+// The schedule is untargeted OS jitter: every core is eligible at every
+// access, like a kernel descheduling threads obliviously. (Targeted
+// stalled-holder mode remains available via leasesim -preempttargeted;
+// it is deliberately not used here because holder-only preemption is
+// self-limiting for the lock variant — at most one core at a time is
+// making progress, so at most one can be hit — which flattens the very
+// curve this sweep measures.)
+func degradationCfg(n, rate int, ctrl bool) machine.Config {
+	cfg := cfgFor(n)
+	if rate > 0 {
+		cfg.Faults.Enabled = true
+		cfg.Faults.PreemptPermille = rate
+		cfg.Faults.PreemptMin = degradationPreemptMin
+		cfg.Faults.PreemptMax = degradationPreemptMax
+	}
+	cfg.Controller.Enable = ctrl
+	return cfg
+}
+
+// degVariant is one structure variant of the degradation sweep.
+type degVariant struct {
+	name  string
+	ctrl  bool // enable the adaptive lease-duration controller
+	lease bool // lease-based (for the accounting table)
+	build func(n int) func(d *machine.Direct) OpFunc
+}
+
+func degradationVariants() []degVariant {
+	leased := func(int) func(d *machine.Direct) OpFunc {
+		return StackWorkload(ds.StackOptions{Lease: LeaseTime})
+	}
+	return []degVariant{
+		{"lock", false, false, func(int) func(d *machine.Direct) OpFunc {
+			return LockStackWorkload()
+		}},
+		{"lockfree", false, false, func(int) func(d *machine.Direct) OpFunc {
+			return StackWorkload(ds.StackOptions{})
+		}},
+		{"backoff", false, false, func(n int) func(d *machine.Direct) OpFunc {
+			return StackWorkload(ds.StackOptions{Backoff: ds.Backoff{Min: 64, Max: 64 * uint64(n)}})
+		}},
+		{"lease", false, true, leased},
+		{"lease+ctrl", true, true, leased},
+	}
+}
+
+// DegradationThreads picks the sweep's single thread count: the largest
+// of the params' counts, where contention (and so preemption collateral
+// damage) is worst.
+func DegradationThreads(p Params) int {
+	n := p.Threads[0]
+	for _, t := range p.Threads {
+		if t > n {
+			n = t
+		}
+	}
+	return n
+}
+
+func runDegradation(w io.Writer, p Params) {
+	n := DegradationThreads(p)
+	variants := degradationVariants()
+	top := degradationRates[len(degradationRates)-1]
+
+	// Submit every (variant, rate) cell up front; rows are read in
+	// serial order, so output bytes are pool-size independent.
+	res := make([][]*Future[Result], len(variants))
+	for vi, v := range variants {
+		res[vi] = make([]*Future[Result], len(degradationRates))
+		for ri, rate := range degradationRates {
+			res[vi][ri] = p.mcell(degradationCfg(n, rate, v.ctrl), n, v.build(n))
+		}
+	}
+
+	fmt.Fprintf(w, "degradation sweep: %d threads, preempt %d..%d cycles, rates in permille per access\n\n",
+		n, degradationPreemptMin, degradationPreemptMax)
+
+	// Table 1: absolute throughput by rate x variant.
+	t := NewTable(append([]string{"preempt rate"}, variantNames(variants, " Mops/s")...)...)
+	for ri, rate := range degradationRates {
+		row := []interface{}{fmt.Sprintf("%d/1000", rate)}
+		for vi := range variants {
+			row = append(row, res[vi][ri].Get().MopsPerSec)
+		}
+		t.Row(row...)
+	}
+	t.Print(w)
+	fmt.Fprintln(w)
+
+	// Table 2: throughput retention relative to the variant's own
+	// rate-0 baseline — the degradation curve proper.
+	fmt.Fprintln(w, "throughput retention (% of the variant's own fault-free throughput):")
+	rt := NewTable(append([]string{"preempt rate"}, variantNames(variants, " %")...)...)
+	for ri, rate := range degradationRates {
+		if rate == 0 {
+			continue
+		}
+		row := []interface{}{fmt.Sprintf("%d/1000", rate)}
+		for vi := range variants {
+			row = append(row, fmt.Sprintf("%.1f",
+				100*DegradationRetention(res[vi][0].Get(), res[vi][ri].Get())))
+		}
+		rt.Row(row...)
+	}
+	rt.Print(w)
+	fmt.Fprintln(w)
+
+	// Table 3: worst-case victim wait at the top rate — how long ops
+	// stall behind a descheduled holder.
+	fmt.Fprintf(w, "victim wait at the top rate (%d/1000):\n", top)
+	vt := NewTable("variant", "op lat p50", "p99", "max",
+		"probe-defer p99", "preemptions", "preempted cyc", "holder hits")
+	for vi, v := range variants {
+		r := res[vi][len(degradationRates)-1].Get()
+		lat, defer99 := r.OpLatency, "-"
+		if r.ProbeDefer != nil && r.ProbeDefer.Count > 0 {
+			defer99 = fmt.Sprintf("%d", r.ProbeDefer.P99)
+		}
+		p50, p99, mx := "-", "-", "-"
+		if lat != nil && lat.Count > 0 {
+			p50 = fmt.Sprintf("%d", lat.P50)
+			p99 = fmt.Sprintf("%d", lat.P99)
+			mx = fmt.Sprintf("%d", lat.Max)
+		}
+		vt.Row(v.name, p50, p99, mx, defer99,
+			r.Window.Preemptions, r.Window.PreemptedCycles, r.Faults.HolderPreemptions)
+	}
+	vt.Print(w)
+	fmt.Fprintln(w)
+
+	// Table 4: what preemption does to the lease machinery at the top
+	// rate — involuntary expiries, controller activity, ledger waste.
+	fmt.Fprintf(w, "lease accounting under faults (%d/1000):\n", top)
+	at := NewTable("variant", "leases", "invol rel", "ctrl clamp", "ctrl shrink", "ctrl grow",
+		"efficiency", "wasted cyc", "defer-inflicted cyc")
+	for vi, v := range variants {
+		if !v.lease {
+			continue
+		}
+		r := res[vi][len(degradationRates)-1].Get()
+		eff, wasted, inflicted := "-", "-", "-"
+		if l := r.LeaseLedger; l != nil && l.Leases > 0 {
+			eff = fmt.Sprintf("%.3f", l.Efficiency)
+			wasted = fmt.Sprintf("%d", l.UnusedCycles+l.ExpiredIdleCycles)
+			inflicted = fmt.Sprintf("%d", l.DeferInflictedCycles)
+		}
+		at.Row(v.name, r.Window.Leases, r.Window.InvoluntaryReleases,
+			r.Window.CtrlClamps, r.Window.CtrlShrinks, r.Window.CtrlGrows,
+			eff, wasted, inflicted)
+	}
+	at.Print(w)
+}
+
+// DegradationRetention returns faulted throughput as a fraction of the
+// fault-free baseline (0 when the baseline measured nothing). Exported
+// for the smoke test's lease-beats-lock assertion.
+func DegradationRetention(base, faulted Result) float64 {
+	if base.MopsPerSec == 0 {
+		return 0
+	}
+	return faulted.MopsPerSec / base.MopsPerSec
+}
+
+func variantNames(vs []degVariant, suffix string) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.name + suffix
+	}
+	return out
+}

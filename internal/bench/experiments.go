@@ -77,6 +77,7 @@ func All() []Experiment {
 		{"ablate-predictor", "§5: speculative predictor skips always-expiring leases", runAblatePredictor},
 		{"ablate-autolease", "§8 future work: automatic lease insertion on the plain stack", runAblateAutoLease},
 		{"snapshot", "§5: cheap lock-free snapshots vs double-collect", runSnapshot},
+		{"degradation", "robustness: throughput retention under core preemption, lease vs lock vs adaptive controller", runDegradation},
 	}
 }
 

@@ -26,16 +26,19 @@ const HistoryFile = "history.jsonl"
 // -json files; the store keeps only what cross-run comparison reads.
 type HistoryEntry struct {
 	// Key is "<ds>/t<threads>/<lease|nolease>/s<seed>" — the unit trend
-	// lines are grouped by.
+	// lines are grouped by. Fault-injected runs append "/f<profile>"
+	// (faults.Config.Profile) so degraded runs trend separately from
+	// clean ones instead of polluting their polylines.
 	Key      string `json:"key"`
 	GitSHA   string `json:"git_sha,omitempty"`
 	Note     string `json:"note,omitempty"`
 	TimeUnix int64  `json:"time_unix"`
 
-	DS      string `json:"ds"`
-	Threads int    `json:"threads"`
-	Lease   bool   `json:"lease"`
-	Seed    uint64 `json:"seed"`
+	DS           string `json:"ds"`
+	Threads      int    `json:"threads"`
+	Lease        bool   `json:"lease"`
+	Seed         uint64 `json:"seed"`
+	FaultProfile string `json:"fault_profile,omitempty"`
 
 	Ops         uint64  `json:"ops"`
 	MopsPerSec  float64 `json:"mops_per_sec"`
@@ -59,7 +62,11 @@ func historyKey(r *Report) string {
 	if r.Lease {
 		mode = "lease"
 	}
-	return fmt.Sprintf("%s/t%d/%s/s%d", r.DS, r.Threads, mode, r.Seed)
+	key := fmt.Sprintf("%s/t%d/%s/s%d", r.DS, r.Threads, mode, r.Seed)
+	if r.FaultProfile != "" {
+		key += "/f" + r.FaultProfile
+	}
+	return key
 }
 
 // HistoryEntryOf summarizes one report into a history entry stamped with
@@ -68,6 +75,7 @@ func HistoryEntryOf(r *Report, sha, note string, now time.Time) HistoryEntry {
 	e := HistoryEntry{
 		Key: historyKey(r), GitSHA: sha, Note: note, TimeUnix: now.Unix(),
 		DS: r.DS, Threads: r.Threads, Lease: r.Lease, Seed: r.Seed,
+		FaultProfile: r.FaultProfile,
 		Ops: r.Ops, MopsPerSec: r.MopsPerSec, NJPerOp: r.NJPerOp,
 		MsgsPerOp: r.MsgsPerOp, MissesPerOp: r.MissesPerOp,
 		Error: r.Error,

@@ -19,6 +19,13 @@ type Report struct {
 	WarmCycles   uint64 `json:"warm_cycles"`
 	WindowCycles uint64 `json:"window_cycles"`
 
+	// FaultProfile is the compact fault-schedule identifier
+	// (faults.Config.Profile) of a fault-injected run; empty — and
+	// omitted, keeping clean reports byte-identical — otherwise. The
+	// history store folds it into the grouping key so faulted runs get
+	// their own trend lines.
+	FaultProfile string `json:"fault_profile,omitempty"`
+
 	Ops           uint64  `json:"ops"`
 	MopsPerSec    float64 `json:"mops_per_sec"`
 	NJPerOp       float64 `json:"nj_per_op"`
@@ -73,6 +80,14 @@ type Counters struct {
 	CASSuccesses        uint64            `json:"cas_successes"`
 	CASFailures         uint64            `json:"cas_failures"`
 	MaxDirQueue         int               `json:"max_dir_queue"`
+
+	// Preemption-fault and adaptive-controller counters; omitted when
+	// zero so clean-run reports stay byte-identical to older builds.
+	Preemptions     uint64 `json:"preemptions,omitempty"`
+	PreemptedCycles uint64 `json:"preempted_cycles,omitempty"`
+	CtrlClamps      uint64 `json:"ctrl_clamps,omitempty"`
+	CtrlShrinks     uint64 `json:"ctrl_shrinks,omitempty"`
+	CtrlGrows       uint64 `json:"ctrl_grows,omitempty"`
 }
 
 // CountersOf converts a Stats snapshot to report form.
@@ -91,6 +106,8 @@ func CountersOf(s machine.Stats) Counters {
 		DeferredProbes: s.DeferredProbes,
 		CASSuccesses:   s.CASSuccesses, CASFailures: s.CASFailures,
 		MaxDirQueue: s.MaxDirQueue,
+		Preemptions: s.Preemptions, PreemptedCycles: s.PreemptedCycles,
+		CtrlClamps: s.CtrlClamps, CtrlShrinks: s.CtrlShrinks, CtrlGrows: s.CtrlGrows,
 	}
 }
 
@@ -179,6 +196,7 @@ func BuildReport(ds string, threads int, lease bool, cfg machine.Config,
 	rep := Report{
 		DS: ds, Threads: threads, Lease: lease, Seed: cfg.Seed,
 		WarmCycles: warm, WindowCycles: window,
+		FaultProfile: cfg.Faults.Profile(),
 		Ops: r.Ops, MopsPerSec: r.MopsPerSec, NJPerOp: r.NJPerOp,
 		MissesPerOp: r.MissesPerOp, MsgsPerOp: r.MsgsPerOp,
 		CASFailsPerOp: r.CASFailsPerOp, Fairness: r.Fairness,

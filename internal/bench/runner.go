@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 
+	"leaserelease/internal/faults"
 	"leaserelease/internal/invariant"
 	"leaserelease/internal/machine"
 	"leaserelease/internal/sim"
@@ -59,6 +60,11 @@ type Result struct {
 	// used cycles, ops absorbed, deferral inflicted), filled when the
 	// recorder had the ledger enabled (Recorder.EnableLedger); nil otherwise.
 	LeaseLedger *telemetry.LedgerSummary
+
+	// Faults is the injector's whole-run delivery count (zero when fault
+	// injection is disabled). Unlike Window it is not windowed: it counts
+	// warm-up faults too, so it reports the schedule actually delivered.
+	Faults faults.Stats
 
 	// Series holds the periodic time-series samples of windowed Stats
 	// deltas (Options.Samples sub-windows); nil when sampling is off.
@@ -274,6 +280,7 @@ func throughputGuarded(cfg machine.Config, threads int, warm, window uint64,
 		}
 	}
 	r := summarize(m.Config(), threads, ops, w)
+	r.Faults = m.FaultStats()
 	if maxT > 0 {
 		r.Fairness = float64(minT) / float64(maxT)
 	}

@@ -35,6 +35,30 @@ func StackWorkload(opt ds.StackOptions) func(d *machine.Direct) OpFunc {
 	}
 }
 
+// LockStackWorkload: the same Figure 2 op mix on a sequential stack
+// guarded by a global TTS lock — the coarse-grained baseline whose
+// throughput collapses hardest when a preempted thread parks inside the
+// critical section (the degradation experiment's worst case).
+func LockStackWorkload() func(d *machine.Direct) OpFunc {
+	return func(d *machine.Direct) OpFunc {
+		l := locks.NewTTS(d)
+		s := ds.NewStack(d, ds.StackOptions{})
+		for i := 0; i < 64; i++ {
+			s.Push(d, uint64(i)+1)
+		}
+		return func(tid int, c *machine.Ctx) {
+			l.Lock(c)
+			if c.Rand().Intn(2) == 0 {
+				s.Push(c, 1)
+			} else {
+				s.Pop(c)
+			}
+			l.Unlock(c)
+			jitter(c)
+		}
+	}
+}
+
 // AutoStackWorkload: the plain lease-free Treiber stack run through the
 // §8 automatic-lease-insertion wrapper (machine.Auto).
 func AutoStackWorkload() func(d *machine.Direct) OpFunc {

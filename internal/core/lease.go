@@ -67,6 +67,16 @@ type Entry struct {
 	probe interface{} // at most one deferred coherence probe (opaque)
 }
 
+// GrantCycle returns the cycle at which the countdown started (the grant
+// time, Deadline − Duration) for a started entry; ok is false for an
+// entry whose ownership is still pending.
+func (e *Entry) GrantCycle() (cycle uint64, ok bool) {
+	if !e.Started {
+		return 0, false
+	}
+	return e.Deadline - e.Duration, true
+}
+
 // HasProbe reports whether a probe is queued on this entry.
 func (e *Entry) HasProbe() bool { return e.probe != nil }
 

@@ -17,7 +17,12 @@
 // this package.
 package faults
 
-import "leaserelease/internal/sim"
+import (
+	"fmt"
+	"strings"
+
+	"leaserelease/internal/sim"
+)
 
 // Config selects which faults to inject and how hard. The zero value
 // injects nothing.
@@ -51,6 +56,24 @@ type Config struct {
 	// caps the L1's ways (shrinking capacity proportionally) to force
 	// eviction and fully-pinned-set pressure on the lease machinery.
 	CapacityWays int
+
+	// PreemptPermille is the per-preemption-point chance (0..1000) that a
+	// core is descheduled by the "OS": the proc stops issuing events for
+	// the drawn duration while its lease timers keep counting down in the
+	// (still-powered) cache hardware, so held leases expire involuntarily.
+	// Preemption points are memory-access boundaries (see machine.Ctx).
+	PreemptPermille int
+
+	// PreemptMin/PreemptMax bound the uniformly drawn preemption duration
+	// in cycles. PreemptMax == 0 disables preemption regardless of
+	// PreemptPermille.
+	PreemptMin, PreemptMax sim.Time
+
+	// PreemptTargeted restricts preemption to "holders": cores that hold
+	// at least one lease, or are issuing an exclusive (write) access —
+	// the adversarial stalled-holder schedule, which maximizes the time
+	// victims wait behind the preempted core.
+	PreemptTargeted bool
 }
 
 // DefaultConfig returns a moderate all-faults-on schedule used by the
@@ -66,6 +89,19 @@ func DefaultConfig() Config {
 	}
 }
 
+// WithPreemption returns c with a moderate core-preemption schedule
+// added (and the injector enabled): ~0.5% of preemption points
+// descheduled for 200..30K cycles, untargeted. Used by the chaos soak's
+// preemption profiles; the degradation experiments configure the fields
+// directly.
+func (c Config) WithPreemption() Config {
+	c.Enabled = true
+	c.PreemptPermille = 5
+	c.PreemptMin = 200
+	c.PreemptMax = 30_000
+	return c
+}
+
 // Stats counts injected faults; exported fields so harnesses can report
 // how much perturbation a run actually received.
 type Stats struct {
@@ -75,6 +111,10 @@ type Stats struct {
 	DirStallCycles uint64 `json:"dir_stall_cycles"`
 	LeaseCuts      uint64 `json:"lease_cuts"`
 	LeaseCutCycles uint64 `json:"lease_cut_cycles"`
+
+	Preemptions       uint64 `json:"preemptions,omitempty"`
+	PreemptCycles     uint64 `json:"preempt_cycles,omitempty"`
+	HolderPreemptions uint64 `json:"holder_preemptions,omitempty"`
 }
 
 // Injector draws fault decisions from a deterministic stream. A nil
@@ -82,7 +122,9 @@ type Stats struct {
 // so emit sites need no separate enabled checks.
 type Injector struct {
 	cfg   Config
+	seed  uint64 // machine seed, kept to derive per-core preempt streams
 	rng   sim.RNG
+	prng  []sim.RNG // per-core preemption streams, grown on first use
 	stats Stats
 }
 
@@ -93,7 +135,8 @@ func New(cfg Config, machineSeed uint64) *Injector {
 	if !cfg.Enabled {
 		return nil
 	}
-	return &Injector{cfg: cfg, rng: sim.NewRNG((machineSeed*0x9E3779B1 + cfg.Seed) ^ 0xFA017FA01)}
+	return &Injector{cfg: cfg, seed: machineSeed,
+		rng: sim.NewRNG((machineSeed*0x9E3779B1 + cfg.Seed) ^ 0xFA017FA01)}
 }
 
 // Stats returns a snapshot of the injection counters (zero for nil).
@@ -152,6 +195,55 @@ func (i *Injector) LeaseCut(duration uint64) uint64 {
 	return cut
 }
 
+// preemptRNG returns core's preemption stream, created on first use.
+// Preemption draws come from per-core streams — not the shared fault
+// stream — for two reasons: adding preemption to an existing schedule
+// leaves every other fault's draw sequence (and so its byte-exact
+// behaviour) unchanged, and each core's preemption schedule depends only
+// on how many preemption points that core has passed, not on the global
+// event interleaving.
+func (i *Injector) preemptRNG(core int) *sim.RNG {
+	for len(i.prng) <= core {
+		id := uint64(len(i.prng))
+		i.prng = append(i.prng, sim.NewRNG(
+			(i.seed*0x9E3779B1+i.cfg.Seed)^(0xBADC0FFEE+id*0x9E3779B97F4A7C15)))
+	}
+	return &i.prng[core]
+}
+
+// Preempt draws one preemption decision at a core-local preemption point
+// and returns the descheduled duration in cycles (0 = not preempted).
+// holder reports whether the core currently holds a lease or is issuing
+// an exclusive access; with PreemptTargeted only holders are eligible
+// (ineligible points consume no draw, keeping each core's stream a pure
+// function of its eligible-point count).
+func (i *Injector) Preempt(core int, holder bool) sim.Time {
+	if i == nil || i.cfg.PreemptPermille <= 0 || i.cfg.PreemptMax == 0 {
+		return 0
+	}
+	if i.cfg.PreemptTargeted && !holder {
+		return 0
+	}
+	r := i.preemptRNG(core)
+	if r.Uint64n(1000) >= uint64(i.cfg.PreemptPermille) {
+		return 0
+	}
+	lo, hi := i.cfg.PreemptMin, i.cfg.PreemptMax
+	if lo < 1 {
+		lo = 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	d := lo + r.Uint64n(hi-lo+1)
+	i.stats.Preemptions++
+	i.stats.PreemptCycles += d
+	if holder {
+		i.stats.HolderPreemptions++
+	}
+	return d
+}
+
 // CapWays returns the effective L1 associativity under capacity pressure:
 // min(configured, CapacityWays) when the fault is on, ways otherwise.
 func (c Config) CapWays(ways int) int {
@@ -159,4 +251,35 @@ func (c Config) CapWays(ways int) int {
 		return ways
 	}
 	return c.CapacityWays
+}
+
+// Profile renders a compact, stable identifier of the fault schedule for
+// grouping runs (history keys, report labels). A disabled config — or an
+// enabled one whose every field is zero, which injects nothing — renders
+// as "", so clean runs keep their unsuffixed keys.
+func (c Config) Profile() string {
+	if !c.Enabled {
+		return ""
+	}
+	var b strings.Builder
+	if c.MsgJitter > 0 {
+		fmt.Fprintf(&b, "j%d", c.MsgJitter)
+	}
+	if c.DirStallPct > 0 && c.DirStallCycles > 0 {
+		fmt.Fprintf(&b, "d%dx%d", c.DirStallPct, c.DirStallCycles)
+	}
+	if c.LeaseCutPct > 0 {
+		fmt.Fprintf(&b, "c%d", c.LeaseCutPct)
+	}
+	if c.CapacityWays > 0 {
+		fmt.Fprintf(&b, "w%d", c.CapacityWays)
+	}
+	if c.PreemptPermille > 0 && c.PreemptMax > 0 {
+		tag := "p"
+		if c.PreemptTargeted {
+			tag = "P" // targeted (holder-only) schedule
+		}
+		fmt.Fprintf(&b, "%s%dx%d-%d", tag, c.PreemptPermille, c.PreemptMin, c.PreemptMax)
+	}
+	return b.String()
 }

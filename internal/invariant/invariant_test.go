@@ -220,8 +220,10 @@ func TestMutationEventStream(t *testing.T) {
 }
 
 // TestChaosSoak runs the chaos workload under fault injection across many
-// seeds with the checker attached. SOAK_SEEDS scales it up for CI
-// (default kept small for the ordinary test run).
+// seeds with the checker attached, rotating through fault profiles that
+// now include core preemption (untargeted and targeted stalled-holder,
+// with and without the adaptive lease controller). SOAK_SEEDS scales it
+// up for CI (default kept small for the ordinary test run).
 func TestChaosSoak(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak skipped in -short mode")
@@ -232,17 +234,39 @@ func TestChaosSoak(t *testing.T) {
 			seeds = n
 		}
 	}
+	profiles := []struct {
+		name string
+		cfg  func(seed uint64) (faults.Config, bool)
+	}{
+		{"faults", func(seed uint64) (faults.Config, bool) {
+			return faults.DefaultConfig(), false
+		}},
+		{"faults+preempt", func(seed uint64) (faults.Config, bool) {
+			return faults.DefaultConfig().WithPreemption(), false
+		}},
+		{"faults+preempt-targeted", func(seed uint64) (faults.Config, bool) {
+			fc := faults.DefaultConfig().WithPreemption()
+			fc.PreemptTargeted = true
+			return fc, false
+		}},
+		{"faults+preempt+controller", func(seed uint64) (faults.Config, bool) {
+			return faults.DefaultConfig().WithPreemption(), true
+		}},
+	}
 	for seed := 1; seed <= seeds; seed++ {
+		p := profiles[seed%len(profiles)]
 		cfg := machine.DefaultConfig(4)
 		cfg.Seed = uint64(seed)
-		cfg.Faults = faults.DefaultConfig()
-		cfg.Faults.Seed = uint64(seed)
+		fc, ctrl := p.cfg(uint64(seed))
+		fc.Seed = uint64(seed)
+		cfg.Faults = fc
+		cfg.Controller.Enable = ctrl
 		_, _, chk, err := runChaos(cfg, 4, 60, true)
 		if err != nil {
-			t.Fatalf("seed %d: drain: %v", seed, err)
+			t.Fatalf("seed %d (%s): drain: %v", seed, p.name, err)
 		}
 		if verr := chk.Err(); verr != nil {
-			t.Fatalf("seed %d: invariant violations under fault injection:\n%v", seed, verr)
+			t.Fatalf("seed %d (%s): invariant violations under fault injection:\n%v", seed, p.name, verr)
 		}
 	}
 }

@@ -57,6 +57,11 @@ type Config struct {
 	// leases at sites with frequent involuntary releases.
 	Predictor PredictorConfig
 
+	// Controller configures the adaptive lease-duration controller:
+	// per-site exponential backoff of granted durations after
+	// involuntary releases, gradual regrowth on clean releases.
+	Controller ControllerConfig
+
 	// Energy is the event-count energy model.
 	Energy EnergyModel
 
@@ -99,7 +104,8 @@ func DefaultConfig(cores int) Config {
 		Lease:             core.DefaultConfig(),
 		SoftLeaseStagger:  50,                       // ≈ one ownership-request round trip
 		SoftLeaseOverhead: 12,                       // sort + group bookkeeping per line
-		Predictor:         DefaultPredictorConfig(), // Enable defaults to false
+		Predictor:         DefaultPredictorConfig(),  // Enable defaults to false
+		Controller:        DefaultControllerConfig(), // Enable defaults to false
 		Energy:            DefaultEnergy(),
 		Seed:              1,
 	}

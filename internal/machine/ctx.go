@@ -97,6 +97,7 @@ func (c *Ctx) Alloc(size uint64) mem.Addr { return c.m.alloc.AllocAligned(size) 
 // through the coherence protocol on a miss. On return the access itself
 // has been charged (L1 hit latency) and the value may be read/written.
 func (c *Ctx) access(a mem.Addr, write, lease bool) {
+	c.m.maybePreempt(c.cs, c.p, write)
 	c.p.Sync()
 	l := mem.LineOf(a)
 	if c.cs.l1.Lookup(l, write) {
@@ -173,6 +174,10 @@ func (c *Ctx) LeaseAt(site uint64, a mem.Addr, dur uint64) {
 		// Already leased: no extension (preserves MAX_LEASE_TIME).
 		c.p.Work(1)
 		return
+	}
+	if g, clamped := cs.ctrl.grant(site, dur); clamped {
+		c.m.stats.CtrlClamps++
+		dur = g
 	}
 	c.m.stats.Leases++
 	c.m.trace(cs.id, TraceLease, l)

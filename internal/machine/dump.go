@@ -34,18 +34,23 @@ type CoreDump struct {
 	Blocked     bool        `json:"blocked"`
 	BlockReason string      `json:"block_reason,omitempty"`
 	BlockSince  uint64      `json:"block_since,omitempty"`
+	Preempted   uint64      `json:"preempted_cycles,omitempty"`
 	Leases      []LeaseDump `json:"leases,omitempty"`
 }
 
-// LeaseDump is one lease-table entry.
+// LeaseDump is one currently-held lease-table entry. The owning core is
+// the enclosing CoreDump; GrantCycle/Deadline bound the hold window, so a
+// StallError/RunError dump shows exactly which lease a victim is waiting
+// behind and until when — without rerunning under a tracer.
 type LeaseDump struct {
-	Line     uint64 `json:"line"`
-	Duration uint64 `json:"duration"`
-	Started  bool   `json:"started"`
-	Deadline uint64 `json:"deadline,omitempty"`
-	InGroup  bool   `json:"in_group,omitempty"`
-	HasProbe bool   `json:"has_probe,omitempty"`
-	Pinned   bool   `json:"pinned"`
+	Line       uint64 `json:"line"`
+	Duration   uint64 `json:"duration"`
+	Started    bool   `json:"started"`
+	GrantCycle uint64 `json:"grant_cycle,omitempty"`
+	Deadline   uint64 `json:"deadline,omitempty"`
+	InGroup    bool   `json:"in_group,omitempty"`
+	HasProbe   bool   `json:"has_probe,omitempty"`
+	Pinned     bool   `json:"pinned"`
 }
 
 // DirLineDump is the directory's view of one active line (lines that are
@@ -100,11 +105,14 @@ func (m *Machine) DumpState() *StateDump {
 		if cs.proc != nil {
 			blocked, reason, since, done := cs.proc.Status()
 			cd.Blocked, cd.BlockReason, cd.BlockSince, cd.Done = blocked, reason, since, done
+			cd.Preempted = cs.proc.PreemptedCycles()
 		}
 		cs.leases.ForEach(func(e *core.Entry) {
+			grant, _ := e.GrantCycle()
 			cd.Leases = append(cd.Leases, LeaseDump{
 				Line: uint64(e.Line), Duration: e.Duration, Started: e.Started,
-				Deadline: e.Deadline, InGroup: e.InGroup, HasProbe: e.HasProbe(),
+				GrantCycle: grant,
+				Deadline:   e.Deadline, InGroup: e.InGroup, HasProbe: e.HasProbe(),
 				Pinned: cs.l1.Pinned(e.Line),
 			})
 		})
@@ -137,11 +145,14 @@ func (d *StateDump) String() string {
 		case c.Blocked:
 			status = fmt.Sprintf("blocked: %s (since cycle %d)", c.BlockReason, c.BlockSince)
 		}
+		if c.Preempted > 0 {
+			status += fmt.Sprintf(" (preempted %d cycles total)", c.Preempted)
+		}
 		fmt.Fprintf(&b, "  core %2d: %s\n", c.ID, status)
 		for _, l := range c.Leases {
 			state := "pending"
 			if l.Started {
-				state = fmt.Sprintf("started, deadline %d", l.Deadline)
+				state = fmt.Sprintf("granted @%d, deadline %d", l.GrantCycle, l.Deadline)
 			}
 			extras := ""
 			if l.InGroup {

@@ -62,6 +62,7 @@ type coreState struct {
 	leases *core.Table
 	proc   *sim.Proc
 	pred   *leasePredictor
+	ctrl   *leaseController
 	txnSeq uint64 // per-core transaction counter (span tracing only)
 }
 
@@ -93,6 +94,7 @@ func New(cfg Config) *Machine {
 			l1:     cache.New(l1cfg),
 			leases: core.NewTable(cfg.Lease),
 			pred:   newLeasePredictor(cfg.Predictor),
+			ctrl:   newLeaseController(cfg.Controller, cfg.Lease.MaxLeaseTime),
 		}
 	}
 	return m
@@ -222,10 +224,14 @@ func (m *Machine) Poke(a mem.Addr, v uint64) { m.store.Store(a, v) }
 // leaseHold returns the cycles a started lease has been held as of now,
 // or telemetry.NoVal for a lease whose countdown never started.
 func leaseHold(e *core.Entry, now uint64) uint64 {
-	if e == nil || !e.Started {
+	if e == nil {
 		return telemetry.NoVal
 	}
-	return now - (e.Deadline - e.Duration)
+	g, ok := e.GrantCycle()
+	if !ok {
+		return telemetry.NoVal
+	}
+	return now - g
 }
 
 // mintTxn assigns req a machine-unique transaction ID and emits TxnBegin,
@@ -291,6 +297,9 @@ func (m *Machine) scheduleExpiry(cs *coreState, e *core.Entry) {
 		m.stats.InvoluntaryReleases++
 		m.traceVal(cs.id, TraceInvoluntary, line, x.Duration)
 		cs.pred.record(x.Site, false)
+		if shrank, _ := cs.ctrl.record(x.Site, false); shrank {
+			m.stats.CtrlShrinks++
+		}
 		cs.l1.Unpin(line)
 		m.serveDeferred(cs, x)
 	})
@@ -300,8 +309,34 @@ func (m *Machine) scheduleExpiry(cs *coreState, e *core.Entry) {
 // (voluntary, FIFO eviction, ReleaseAll): unpin and service the probe.
 func (m *Machine) releaseEntry(cs *coreState, e *core.Entry) {
 	cs.pred.record(e.Site, true)
+	if _, grew := cs.ctrl.record(e.Site, true); grew {
+		m.stats.CtrlGrows++
+	}
 	cs.l1.Unpin(e.Line)
 	m.serveDeferred(cs, e)
+}
+
+// maybePreempt is the fault model's preemption point, reached before a
+// core issues a memory access: the "OS" may deschedule the core for a
+// drawn duration. The proc simply stops issuing events while its local
+// clock advances (sim.Proc.Preempt); expiry timers armed on the cache
+// hardware keep firing, so held leases expire involuntarily per
+// Algorithm 1 — exactly the bounded-delay scenario of §3. write feeds
+// the targeted mode's holder test: a core holding a lease, or issuing an
+// exclusive access (inside or entering a critical section for lock-based
+// structures), counts as a holder.
+func (m *Machine) maybePreempt(cs *coreState, p *sim.Proc, write bool) {
+	if m.faults == nil {
+		return
+	}
+	holder := write || cs.leases.Len() > 0
+	d := m.faults.Preempt(cs.id, holder)
+	if d == 0 {
+		return
+	}
+	m.stats.Preemptions++
+	m.stats.PreemptedCycles += d
+	p.Preempt(d)
 }
 
 // installLine places a granted line into the core's L1, force-releasing

@@ -32,6 +32,13 @@ type Stats struct {
 	CASSuccesses uint64
 	CASFailures  uint64
 
+	Preemptions     uint64 // fault-injected core preemptions delivered
+	PreemptedCycles uint64 // cycles cores spent descheduled
+
+	CtrlClamps  uint64 // lease requests cut by the adaptive controller
+	CtrlShrinks uint64 // controller cap shrinks (involuntary releases)
+	CtrlGrows   uint64 // controller cap regrowths (clean releases)
+
 	MaxDirQueue int // peak per-line directory queue occupancy
 }
 
@@ -75,6 +82,11 @@ func (s Stats) Sub(prev Stats) Stats {
 	d.DeferredProbes -= prev.DeferredProbes
 	d.CASSuccesses -= prev.CASSuccesses
 	d.CASFailures -= prev.CASFailures
+	d.Preemptions -= prev.Preemptions
+	d.PreemptedCycles -= prev.PreemptedCycles
+	d.CtrlClamps -= prev.CtrlClamps
+	d.CtrlShrinks -= prev.CtrlShrinks
+	d.CtrlGrows -= prev.CtrlGrows
 	return d
 }
 
@@ -87,5 +99,11 @@ func (s Stats) String() string {
 		s.Leases, s.MultiLeases, s.VoluntaryReleases, s.InvoluntaryReleases,
 		s.EvictedLeases, s.ForcedReleases, s.BrokenLeases, s.IgnoredLeases, s.DeferredProbes)
 	fmt.Fprintf(&b, "cas ok=%d fail=%d maxdirq=%d", s.CASSuccesses, s.CASFailures, s.MaxDirQueue)
+	// Preemption/controller counters appear only when active, so runs
+	// without those features render byte-identically to older builds.
+	if s.Preemptions > 0 || s.CtrlClamps > 0 || s.CtrlShrinks > 0 || s.CtrlGrows > 0 {
+		fmt.Fprintf(&b, "\npreempt=%d (%d cycles) ctrl clamp=%d shrink=%d grow=%d",
+			s.Preemptions, s.PreemptedCycles, s.CtrlClamps, s.CtrlShrinks, s.CtrlGrows)
+	}
 	return b.String()
 }

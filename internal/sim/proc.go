@@ -37,6 +37,8 @@ type Proc struct {
 	blockReason string
 	blockSince  Time
 
+	preempted Time // cycles spent descheduled (Preempt)
+
 	killed bool
 
 	rng RNG
@@ -200,6 +202,21 @@ func (p *Proc) Clock() Time { return p.clock }
 
 // Work advances the local clock by n cycles of purely local computation.
 func (p *Proc) Work(n Time) { p.clock += n }
+
+// Preempt models the core being descheduled for n cycles: the proc
+// issues no events and performs no work while its local clock advances.
+// To the engine this is indistinguishable from local compute — which is
+// the architectural point: timers armed on the (still-powered) cache
+// hardware, such as lease expiries, keep firing while the thread is off
+// the core. Preempted cycles are counted separately so harnesses can
+// check conservation against the fault injector's draws.
+func (p *Proc) Preempt(n Time) {
+	p.clock += n
+	p.preempted += n
+}
+
+// PreemptedCycles returns the total cycles this proc spent descheduled.
+func (p *Proc) PreemptedCycles() Time { return p.preempted }
 
 // RNG returns the proc's deterministic random number generator.
 func (p *Proc) RNG() *RNG { return &p.rng }
