@@ -8,11 +8,17 @@
 //	leasebench -list
 //	leasebench -exp fig2
 //	leasebench -exp all [-quick] [-threads 2,4,8] [-window 1500000]
+//	leasebench -exp fig2 -protocol tardis
+//	leasebench -exp protocol-compare -quick
 //	leasebench -exp all -quick -parallel 4 -perfjson BENCH_host.json
 //	leasebench -exp all -serve :9090
 //	leasebench -compare old.json new.json [-threshold 5]
 //	leasebench history [-dir .leasehistory] [-note s] run.json...
 //	leasebench report [-dir .leasehistory] [-o lease-report.html] [run.json...]
+//
+// -protocol reruns any experiment on a different coherence backend
+// (default directory MSI, or Tardis timestamp coherence); the dedicated
+// protocol-compare experiment runs both side by side with identical seeds.
 //
 // -compare diffs two `leasesim -json` report files per configuration
 // (ops, throughput, latency percentiles, messages per op); changes that
@@ -55,6 +61,7 @@ import (
 	"time"
 
 	"leaserelease/internal/bench"
+	"leaserelease/internal/coherence"
 )
 
 // ExpPerf is one experiment's recorded host wall-clock.
@@ -100,13 +107,14 @@ func main() {
 		}
 	}
 	var (
-		exp     = flag.String("exp", "", "experiment id to run, or 'all'")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		quick   = flag.Bool("quick", false, "small thread sweep and short windows")
-		threads = flag.String("threads", "", "comma-separated thread counts (override)")
-		warm    = flag.Uint64("warm", 0, "warmup cycles (override)")
-		window  = flag.Uint64("window", 0, "measurement window cycles (override)")
-		strict  = flag.Bool("strict", false, "abort at the first failed experiment")
+		exp      = flag.String("exp", "", "experiment id to run, or 'all'")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		protocol = flag.String("protocol", "msi", "coherence protocol backend: msi|tardis")
+		quick    = flag.Bool("quick", false, "small thread sweep and short windows")
+		threads  = flag.String("threads", "", "comma-separated thread counts (override)")
+		warm     = flag.Uint64("warm", 0, "warmup cycles (override)")
+		window   = flag.Uint64("window", 0, "measurement window cycles (override)")
+		strict   = flag.Bool("strict", false, "abort at the first failed experiment")
 
 		compare   = flag.Bool("compare", false, "compare two leasesim -json report files: leasebench -compare old.json new.json")
 		threshold = flag.Float64("threshold", 5, "with -compare, highlight regressions beyond this percentage (0 disables)")
@@ -160,10 +168,20 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if !coherence.ValidProtocol(*protocol) {
+		fmt.Fprintf(os.Stderr, "leasebench: unknown -protocol %q (valid: %s)\n",
+			*protocol, strings.Join(coherence.Protocols(), ", "))
+		os.Exit(2)
+	}
 
 	p := bench.FullParams()
 	if *quick {
 		p = bench.QuickParams()
+	}
+	if *protocol != "" && *protocol != coherence.ProtocolMSI {
+		// The default MSI stays the empty tag so default sweeps are
+		// byte-identical to builds that predate -protocol.
+		p.Protocol = *protocol
 	}
 	if *threads != "" {
 		p.Threads = nil

@@ -9,6 +9,11 @@
 //	leasesim -ds stack -threads 16 -lease -json -hotlines 5 -timeline t.json
 //	leasesim -ds stack -threads 4,8,16 -lease -invariants -faults
 //	leasesim -ds stack -threads 1,2,4,8,16,32 -lease -parallel 4
+//	leasesim -ds counter -threads 8 -lease -protocol tardis -spans
+//
+// -protocol selects the coherence backend: the default directory MSI, or
+// Tardis timestamp coherence (per-line wts/rts, silent reservation expiry
+// instead of invalidations). All other flags compose with either backend.
 //
 // -threads accepts a comma-separated sweep; each count is one cell. Cells
 // run on a host worker pool (-parallel, default GOMAXPROCS; each cell owns
@@ -59,6 +64,7 @@ import (
 	"strings"
 
 	"leaserelease/internal/bench"
+	"leaserelease/internal/coherence"
 	"leaserelease/internal/ds"
 	"leaserelease/internal/faults"
 	"leaserelease/internal/machine"
@@ -82,6 +88,7 @@ func parseThreads(s string) ([]int, error) {
 func main() {
 	var (
 		dsName     = flag.String("ds", "stack", "data structure: stack|queue|pq|counter|multiqueue|tl2|harris|skiplist|bst|hash|lfskip|lfbst|lfhash")
+		protocol   = flag.String("protocol", "msi", "coherence protocol backend: msi|tardis")
 		threads    = flag.String("threads", "8", "thread/core count, or a comma-separated sweep (e.g. 4,8,16)")
 		lease      = flag.Bool("lease", false, "enable the paper's lease placement")
 		leaseTime  = flag.Uint64("leasetime", 20000, "lease duration in cycles")
@@ -127,6 +134,11 @@ func main() {
 			*dsName, strings.Join(dsNames, ", "))
 		os.Exit(2)
 	}
+	if !coherence.ValidProtocol(*protocol) {
+		fmt.Fprintf(os.Stderr, "leasesim: unknown -protocol %q (valid: %s)\n",
+			*protocol, strings.Join(coherence.Protocols(), ", "))
+		os.Exit(2)
+	}
 	if *preempt < 0 || *preempt > 1000 {
 		fmt.Fprintf(os.Stderr, "leasesim: -preempt %d out of range (want 0..1000 permille)\n", *preempt)
 		os.Exit(2)
@@ -169,7 +181,7 @@ func main() {
 			tl = fmt.Sprintf("%s.t%d", tl, n)
 		}
 		c := cell{
-			ds: *dsName, threads: n, lease: *lease, leaseTime: *leaseTime,
+			ds: *dsName, protocol: *protocol, threads: n, lease: *lease, leaseTime: *leaseTime,
 			maxLease: *maxLease, cycles: *cycles, warm: *warm,
 			priority: *priority, mesi: *mesi, trace: *trace,
 			predictor: *predictor, multi: *multi, seed: *seed,
@@ -208,6 +220,7 @@ func main() {
 // cell is one sweep configuration (one thread count).
 type cell struct {
 	ds                  string
+	protocol            string
 	threads             int
 	lease               bool
 	leaseTime, maxLease uint64
@@ -267,6 +280,7 @@ func parseMulti(s string) stm.LeaseMode {
 // failed (the failure has been reported on errOut).
 func runCell(c cell, out, errOut io.Writer) bool {
 	cfg := machine.DefaultConfig(c.threads)
+	cfg.Protocol = c.protocol
 	cfg.Lease.MaxLeaseTime = c.maxLease
 	cfg.RegularBreaksLease = c.priority
 	cfg.MESI = c.mesi
@@ -410,7 +424,11 @@ func runCell(c cell, out, errOut io.Writer) bool {
 		return true
 	}
 
-	fmt.Fprintf(out, "ds=%s threads=%d lease=%v window=%d cycles\n", c.ds, c.threads, c.lease, r.Cycles)
+	proto := ""
+	if c.protocol != "" && c.protocol != "msi" {
+		proto = " protocol=" + c.protocol
+	}
+	fmt.Fprintf(out, "ds=%s threads=%d lease=%v%s window=%d cycles\n", c.ds, c.threads, c.lease, proto, r.Cycles)
 	fmt.Fprintf(out, "ops            %d\n", r.Ops)
 	fmt.Fprintf(out, "throughput     %.3f Mops/s\n", r.MopsPerSec)
 	fmt.Fprintf(out, "energy         %.3f nJ/op\n", r.NJPerOp)
@@ -443,7 +461,8 @@ func runCell(c cell, out, errOut io.Writer) bool {
 				if total > 0 {
 					pct = 100 * float64(v) / float64(total)
 				}
-				fmt.Fprintf(out, "  %-14s %14d cycles %6.1f%%\n", telemetry.Phase(i), v, pct)
+				fmt.Fprintf(out, "  %-14s %14d cycles %6.1f%%\n",
+					telemetry.PhaseName(telemetry.Phase(i), c.protocol), v, pct)
 			}
 		}
 		fmt.Fprintf(out, "span critical path (%d cycles):\n", t.TotalCycles)

@@ -51,8 +51,8 @@ const (
 // self-limiting for the lock variant — at most one core at a time is
 // making progress, so at most one can be hit — which flattens the very
 // curve this sweep measures.)
-func degradationCfg(n, rate int, ctrl bool) machine.Config {
-	cfg := cfgFor(n)
+func (p Params) degradationCfg(n, rate int, ctrl bool) machine.Config {
+	cfg := p.cfgFor(n)
 	if rate > 0 {
 		cfg.Faults.Enabled = true
 		cfg.Faults.PreemptPermille = rate
@@ -114,7 +114,7 @@ func runDegradation(w io.Writer, p Params) {
 	for vi, v := range variants {
 		res[vi] = make([]*Future[Result], len(degradationRates))
 		for ri, rate := range degradationRates {
-			res[vi][ri] = p.mcell(degradationCfg(n, rate, v.ctrl), n, v.build(n))
+			res[vi][ri] = p.mcell(p.degradationCfg(n, rate, v.ctrl), n, v.build(n))
 		}
 	}
 

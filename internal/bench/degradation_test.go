@@ -13,7 +13,7 @@ import (
 // given seed. The window must cover many preemption durations (up to
 // 300K cycles each) for the retention comparison to be meaningful.
 func degSmokeCell(seed uint64, n, rate int, build func(d *machine.Direct) OpFunc) Result {
-	cfg := degradationCfg(n, rate, false)
+	cfg := Params{}.degradationCfg(n, rate, false)
 	cfg.Seed = seed
 	return Throughput(cfg, n, 50_000, 3_000_000, build)
 }
@@ -55,8 +55,8 @@ func TestDegradationSmoke(t *testing.T) {
 // mentions faults — so existing goldens and baselines stay valid.
 func TestDegradationRateZeroMatchesClean(t *testing.T) {
 	build := StackWorkload(ds.StackOptions{Lease: LeaseTime})
-	zero := Throughput(degradationCfg(4, 0, false), 4, 20_000, 80_000, build)
-	clean := Throughput(cfgFor(4), 4, 20_000, 80_000, build)
+	zero := Throughput(Params{}.degradationCfg(4, 0, false), 4, 20_000, 80_000, build)
+	clean := Throughput(Params{}.cfgFor(4), 4, 20_000, 80_000, build)
 	if zero.Window != clean.Window || zero.Ops != clean.Ops {
 		t.Fatalf("rate-0 degradation cell differs from clean run:\nzero:  %+v\nclean: %+v",
 			zero.Window, clean.Window)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"leaserelease/internal/coherence"
 	"leaserelease/internal/ds"
 	"leaserelease/internal/locks"
 	"leaserelease/internal/machine"
@@ -23,6 +24,10 @@ type Params struct {
 	// private simulated machine, and rows are emitted in serial order, so
 	// output is byte-identical for any pool size. nil means serial.
 	Pool *Pool
+
+	// Protocol selects the coherence protocol backend for every cell of
+	// the sweep ("" = MSI); see machine.Config.Protocol.
+	Protocol string
 
 	// Exp names the experiment currently sweeping (for progress cell
 	// labels); Progress, when non-nil, receives live per-cell progress
@@ -78,6 +83,7 @@ func All() []Experiment {
 		{"ablate-autolease", "§8 future work: automatic lease insertion on the plain stack", runAblateAutoLease},
 		{"snapshot", "§5: cheap lock-free snapshots vs double-collect", runSnapshot},
 		{"degradation", "robustness: throughput retention under core preemption, lease vs lock vs adaptive controller", runDegradation},
+		{"protocol-compare", "protocol axis: lease-vs-backoff speedup under MSI vs Tardis at equal contention", runProtocolCompare},
 	}
 }
 
@@ -91,7 +97,20 @@ func Find(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-func cfgFor(threads int) machine.Config { return machine.DefaultConfig(threads) }
+// cfgFor builds the machine config for one sweep cell: the paper's default
+// system, on the sweep's coherence protocol.
+func (p Params) cfgFor(threads int) machine.Config {
+	cfg := machine.DefaultConfig(threads)
+	cfg.Protocol = p.Protocol
+	return cfg
+}
+
+// invalCol names the cycle-accounting column that holds PhaseInval
+// cycles: invalidation fan-out under MSI, renewal/rts-extension service
+// under Tardis (see telemetry.PhaseName).
+func (p Params) invalCol() string {
+	return telemetry.PhaseName(telemetry.PhaseInval, p.Protocol)
+}
 
 // cell submits one plain throughput measurement as a pool cell.
 func (p Params) cell(cfg machine.Config, n int, build func(d *machine.Direct) OpFunc) *Future[Result] {
@@ -123,7 +142,11 @@ func runTable1(w io.Writer, p Params) {
 	t.Row("Network hop", fmt.Sprintf("%d cycles (+0..%d jitter)", cfg.Timing.Net, cfg.Timing.NetJitter))
 	t.Row("DRAM (cold fill)", fmt.Sprintf("%d cycles", cfg.Timing.DRAM))
 	t.Row("Cache line", "64 bytes")
-	t.Row("Coherence protocol", "MSI directory, private L1 / shared L2, per-line FIFO queues")
+	proto := "MSI directory, private L1 / shared L2, per-line FIFO queues"
+	if p.Protocol == coherence.ProtocolTardis {
+		proto = "Tardis timestamps (wts/rts reservations), private L1 / shared L2, per-line FIFO queues"
+	}
+	t.Row("Coherence protocol", proto)
 	t.Row("MAX_LEASE_TIME", fmt.Sprintf("%d cycles", cfg.Lease.MaxLeaseTime))
 	t.Row("MAX_NUM_LEASES", cfg.Lease.MaxNumLeases)
 	t.Print(w)
@@ -152,8 +175,8 @@ func runFig2(w io.Writer, p Params) {
 	rows := make([]row, len(threads))
 	for i, n := range threads {
 		rows[i] = row{
-			base:  p.mcell(cfgFor(n), n, StackWorkload(ds.StackOptions{})),
-			lease: p.mcell(cfgFor(n), n, StackWorkload(ds.StackOptions{Lease: LeaseTime})),
+			base:  p.mcell(p.cfgFor(n), n, StackWorkload(ds.StackOptions{})),
+			lease: p.mcell(p.cfgFor(n), n, StackWorkload(ds.StackOptions{Lease: LeaseTime})),
 		}
 	}
 	for i, n := range threads {
@@ -166,7 +189,7 @@ func runFig2(w io.Writer, p Params) {
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, "where the cycles went (leased stack, % of measured op latency):")
 	ct := NewTable("threads", "cycles/op", "req-net", "dir-queue", "dir-service",
-		"inval", "probe-defer", "transfer", "l1+compute")
+		p.invalCol(), "probe-defer", "transfer", "l1+compute")
 	for i, n := range threads {
 		WhereCyclesWentRow(ct, n, rows[i].lease.Get().Txns)
 	}
@@ -196,10 +219,10 @@ func runFig3Counter(w io.Writer, p Params) {
 	rows := make([]row, len(p.Threads))
 	for i, n := range p.Threads {
 		rows[i] = row{
-			tts:    p.cell(cfgFor(n), n, CounterWorkload(CounterTTS)),
-			lease:  p.mcell(cfgFor(n), n, CounterWorkload(CounterLeasedTTS)),
-			ticket: p.cell(cfgFor(n), n, CounterWorkload(CounterTicket)),
-			clh:    p.cell(cfgFor(n), n, CounterWorkload(CounterCLH)),
+			tts:    p.cell(p.cfgFor(n), n, CounterWorkload(CounterTTS)),
+			lease:  p.mcell(p.cfgFor(n), n, CounterWorkload(CounterLeasedTTS)),
+			ticket: p.cell(p.cfgFor(n), n, CounterWorkload(CounterTicket)),
+			clh:    p.cell(p.cfgFor(n), n, CounterWorkload(CounterCLH)),
 		}
 	}
 	for i, n := range p.Threads {
@@ -212,7 +235,7 @@ func runFig3Counter(w io.Writer, p Params) {
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, "where the cycles went (leased counter, % of measured op latency):")
 	ct := NewTable("threads", "cycles/op", "req-net", "dir-queue", "dir-service",
-		"inval", "probe-defer", "transfer", "l1+compute")
+		p.invalCol(), "probe-defer", "transfer", "l1+compute")
 	for i, n := range p.Threads {
 		WhereCyclesWentRow(ct, n, rows[i].lease.Get().Txns)
 	}
@@ -275,11 +298,11 @@ func runFig3Queue(w io.Writer, p Params) {
 	rows := make([]row, len(p.Threads))
 	for i, n := range p.Threads {
 		rows[i] = row{
-			base:   p.cell(cfgFor(n), n, QueueWorkload(ds.QueueNoLease)),
-			single: p.cell(cfgFor(n), n, QueueWorkload(ds.QueueSingleLease)),
-			multi:  p.cell(cfgFor(n), n, QueueWorkload(ds.QueueMultiLease)),
-			fc:     p.cell(cfgFor(n), n, FCQueueWorkload(n)),
-			lcrq:   p.cell(cfgFor(n), n, LCRQWorkload()),
+			base:   p.cell(p.cfgFor(n), n, QueueWorkload(ds.QueueNoLease)),
+			single: p.cell(p.cfgFor(n), n, QueueWorkload(ds.QueueSingleLease)),
+			multi:  p.cell(p.cfgFor(n), n, QueueWorkload(ds.QueueMultiLease)),
+			fc:     p.cell(p.cfgFor(n), n, FCQueueWorkload(n)),
+			lcrq:   p.cell(p.cfgFor(n), n, LCRQWorkload()),
 		}
 	}
 	for i, n := range p.Threads {
@@ -299,9 +322,9 @@ func runFig3PQ(w io.Writer, p Params) {
 	rows := make([]row, len(p.Threads))
 	for i, n := range p.Threads {
 		rows[i] = row{
-			fine:  p.cell(cfgFor(n), n, PQWorkload(PQFineLocking, 512)),
-			glob:  p.cell(cfgFor(n), n, PQWorkload(PQGlobalBase, 512)),
-			lease: p.cell(cfgFor(n), n, PQWorkload(PQGlobalLeased, 512)),
+			fine:  p.cell(p.cfgFor(n), n, PQWorkload(PQFineLocking, 512)),
+			glob:  p.cell(p.cfgFor(n), n, PQWorkload(PQGlobalBase, 512)),
+			lease: p.cell(p.cfgFor(n), n, PQWorkload(PQGlobalLeased, 512)),
 		}
 	}
 	for i, n := range p.Threads {
@@ -318,8 +341,8 @@ func runFig4MQ(w io.Writer, p Params) {
 	rows := make([]row, len(p.Threads))
 	for i, n := range p.Threads {
 		rows[i] = row{
-			base:  p.cell(cfgFor(n), n, MQWorkload(multiqueue.Options{})),
-			lease: p.cell(cfgFor(n), n, MQWorkload(multiqueue.Options{LeaseTime: LeaseTime})),
+			base:  p.cell(p.cfgFor(n), n, MQWorkload(multiqueue.Options{})),
+			lease: p.cell(p.cfgFor(n), n, MQWorkload(multiqueue.Options{LeaseTime: LeaseTime})),
 		}
 	}
 	for i, n := range p.Threads {
@@ -353,7 +376,7 @@ func runFig4TL2(w io.Writer, p Params) {
 
 func tl2Run(p Params, n int, mode stm.LeaseMode) Result {
 	var aborts uint64
-	r := Throughput(cfgFor(n), n, p.Warm, p.Window, TL2Workload(mode, &aborts))
+	r := Throughput(p.cfgFor(n), n, p.Warm, p.Window, TL2Workload(mode, &aborts))
 	// aborts accumulated over warm+window; approximate the window share.
 	if r.Ops > 0 {
 		frac := float64(p.Window) / float64(p.Warm+p.Window)
@@ -402,11 +425,11 @@ func runFig5Pagerank(w io.Writer, p Params) {
 		rows = append(rows, row{
 			n: n,
 			base: Go(p.Pool, func() prun {
-				c, _, err := PagerankRun(cfgFor(n), n, 0, nodes, iters)
+				c, _, err := PagerankRun(p.cfgFor(n), n, 0, nodes, iters)
 				return prun{c, err}
 			}),
 			lease: Go(p.Pool, func() prun {
-				c, _, err := PagerankRun(cfgFor(n), n, LeaseTime, nodes, iters)
+				c, _, err := PagerankRun(p.cfgFor(n), n, LeaseTime, nodes, iters)
 				return prun{c, err}
 			}),
 		})
@@ -430,14 +453,14 @@ func runTextBackoff(w io.Writer, p Params) {
 	rows := make([]row, len(p.Threads))
 	for i, n := range p.Threads {
 		rows[i] = row{
-			base: p.cell(cfgFor(n), n, StackWorkload(ds.StackOptions{})),
-			bo: p.cell(cfgFor(n), n,
+			base: p.cell(p.cfgFor(n), n, StackWorkload(ds.StackOptions{})),
+			bo: p.cell(p.cfgFor(n), n,
 				StackWorkload(ds.StackOptions{Backoff: ds.Backoff{Min: 32, Max: 4096}})),
-			tuned: p.cell(cfgFor(n), n,
+			tuned: p.cell(p.cfgFor(n), n,
 				StackWorkload(ds.StackOptions{Backoff: ds.Backoff{Min: 64, Max: 64 * uint64(n)}})),
-			elim:  p.cell(cfgFor(n), n, EliminationStackWorkload()),
-			fc:    p.cell(cfgFor(n), n, FCStackWorkload(n)),
-			lease: p.cell(cfgFor(n), n, StackWorkload(ds.StackOptions{Lease: LeaseTime})),
+			elim:  p.cell(p.cfgFor(n), n, EliminationStackWorkload()),
+			fc:    p.cell(p.cfgFor(n), n, FCStackWorkload(n)),
+			lease: p.cell(p.cfgFor(n), n, StackWorkload(ds.StackOptions{Lease: LeaseTime})),
 		}
 	}
 	for i, n := range p.Threads {
@@ -470,8 +493,8 @@ func runTextLowContention(w io.Writer, p Params) {
 			rows = append(rows, row{
 				kind:  kind,
 				n:     n,
-				base:  half.cell(cfgFor(n), n, SetWorkload(kind, 0, keyRange, prefill)),
-				lease: half.cell(cfgFor(n), n, SetWorkload(kind, LeaseTime, keyRange, prefill)),
+				base:  half.cell(p.cfgFor(n), n, SetWorkload(kind, 0, keyRange, prefill)),
+				lease: half.cell(p.cfgFor(n), n, SetWorkload(kind, LeaseTime, keyRange, prefill)),
 			})
 		}
 	}
@@ -489,8 +512,8 @@ func runTextConstMiss(w io.Writer, p Params) {
 	rows := make([]row, len(p.Threads))
 	for i, n := range p.Threads {
 		rows[i] = row{
-			base:  p.cell(cfgFor(n), n, StackWorkload(ds.StackOptions{})),
-			lease: p.cell(cfgFor(n), n, StackWorkload(ds.StackOptions{Lease: LeaseTime})),
+			base:  p.cell(p.cfgFor(n), n, StackWorkload(ds.StackOptions{})),
+			lease: p.cell(p.cfgFor(n), n, StackWorkload(ds.StackOptions{Lease: LeaseTime})),
 		}
 	}
 	for i, n := range p.Threads {
@@ -508,10 +531,10 @@ func runAblateLeaseTime(w io.Writer, p Params) {
 	type row struct{ long, short *Future[Result] }
 	rows := make([]row, len(p.Threads))
 	for i, n := range p.Threads {
-		cfgShort := cfgFor(n)
+		cfgShort := p.cfgFor(n)
 		cfgShort.Lease.MaxLeaseTime = 1000
 		rows[i] = row{
-			long:  p.cell(cfgFor(n), n, StackWorkload(ds.StackOptions{Lease: 20000})),
+			long:  p.cell(p.cfgFor(n), n, StackWorkload(ds.StackOptions{Lease: 20000})),
 			short: p.cell(cfgShort, n, StackWorkload(ds.StackOptions{Lease: 1000})),
 		}
 	}
@@ -542,10 +565,10 @@ func runAblateLeaseTime(w io.Writer, p Params) {
 	type row2 struct{ ok, tight *Future[Result] }
 	rows2 := make([]row2, len(p.Threads))
 	for i, n := range p.Threads {
-		cfgTight := cfgFor(n)
+		cfgTight := p.cfgFor(n)
 		cfgTight.Lease.MaxLeaseTime = 100
 		rows2[i] = row2{
-			ok:    p.cell(cfgFor(n), n, longCS(20000, 20000)),
+			ok:    p.cell(p.cfgFor(n), n, longCS(20000, 20000)),
 			tight: p.cell(cfgTight, n, longCS(100, 100)),
 		}
 	}
@@ -568,10 +591,10 @@ func runAblatePriority(w io.Writer, p Params) {
 	type row struct{ plain, brk *Future[Result] }
 	rows := make([]row, len(p.Threads))
 	for i, n := range p.Threads {
-		cfgBrk := cfgFor(n)
+		cfgBrk := p.cfgFor(n)
 		cfgBrk.RegularBreaksLease = true
 		rows[i] = row{
-			plain: p.cell(cfgFor(n), n, ImproperLockWorkload()),
+			plain: p.cell(p.cfgFor(n), n, ImproperLockWorkload()),
 			brk:   p.cell(cfgBrk, n, ImproperLockWorkload()),
 		}
 	}
@@ -591,10 +614,10 @@ func runAblateMESI(w io.Writer, p Params) {
 	cells := func(build func(n int) func(d *machine.Direct) OpFunc) []row {
 		rows := make([]row, len(p.Threads))
 		for i, n := range p.Threads {
-			cfgM := cfgFor(n)
+			cfgM := p.cfgFor(n)
 			cfgM.MESI = true
 			rows[i] = row{
-				msi:  p.cell(cfgFor(n), n, build(n)),
+				msi:  p.cell(p.cfgFor(n), n, build(n)),
 				mesi: p.cell(cfgM, n, build(n)),
 			}
 		}
@@ -638,7 +661,7 @@ func runAblatePredictor(w io.Writer, p Params) {
 	type row struct{ base, bad, pred *Future[Result] }
 	rows := make([]row, len(p.Threads))
 	for i, n := range p.Threads {
-		cfgBase := cfgFor(n)
+		cfgBase := p.cfgFor(n)
 		cfgBase.Lease.MaxLeaseTime = 300
 		cfgPred := cfgBase
 		cfgPred.Predictor.Enable = true
@@ -665,9 +688,9 @@ func runAblateAutoLease(w io.Writer, p Params) {
 	rows := make([]row, len(p.Threads))
 	for i, n := range p.Threads {
 		rows[i] = row{
-			base:   p.cell(cfgFor(n), n, StackWorkload(ds.StackOptions{})),
-			auto:   p.cell(cfgFor(n), n, AutoStackWorkload()),
-			manual: p.cell(cfgFor(n), n, StackWorkload(ds.StackOptions{Lease: LeaseTime})),
+			base:   p.cell(p.cfgFor(n), n, StackWorkload(ds.StackOptions{})),
+			auto:   p.cell(p.cfgFor(n), n, AutoStackWorkload()),
+			manual: p.cell(p.cfgFor(n), n, StackWorkload(ds.StackOptions{Lease: LeaseTime})),
 		}
 	}
 	for i, n := range p.Threads {
@@ -696,12 +719,12 @@ func runSnapshot(w io.Writer, p Params) {
 			n: n,
 			lease: Go(p.Pool, func() snap {
 				var s snap
-				Throughput(cfgFor(n), n, p.Warm, p.Window, SnapshotWorkload(true, 4, &s.attempts, &s.snaps))
+				Throughput(p.cfgFor(n), n, p.Warm, p.Window, SnapshotWorkload(true, 4, &s.attempts, &s.snaps))
 				return s
 			}),
 			dcoll: Go(p.Pool, func() snap {
 				var s snap
-				Throughput(cfgFor(n), n, p.Warm, p.Window, SnapshotWorkload(false, 4, &s.attempts, &s.snaps))
+				Throughput(p.cfgFor(n), n, p.Warm, p.Window, SnapshotWorkload(false, 4, &s.attempts, &s.snaps))
 				return s
 			}),
 		})

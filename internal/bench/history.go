@@ -27,8 +27,9 @@ const HistoryFile = "history.jsonl"
 type HistoryEntry struct {
 	// Key is "<ds>/t<threads>/<lease|nolease>/s<seed>" — the unit trend
 	// lines are grouped by. Fault-injected runs append "/f<profile>"
-	// (faults.Config.Profile) so degraded runs trend separately from
-	// clean ones instead of polluting their polylines.
+	// (faults.Config.Profile) and non-MSI-protocol runs append
+	// "/p<protocol>", so degraded or per-protocol runs trend separately
+	// from clean MSI ones instead of polluting their polylines.
 	Key      string `json:"key"`
 	GitSHA   string `json:"git_sha,omitempty"`
 	Note     string `json:"note,omitempty"`
@@ -39,6 +40,7 @@ type HistoryEntry struct {
 	Lease        bool   `json:"lease"`
 	Seed         uint64 `json:"seed"`
 	FaultProfile string `json:"fault_profile,omitempty"`
+	Protocol     string `json:"protocol,omitempty"`
 
 	Ops         uint64  `json:"ops"`
 	MopsPerSec  float64 `json:"mops_per_sec"`
@@ -66,6 +68,9 @@ func historyKey(r *Report) string {
 	if r.FaultProfile != "" {
 		key += "/f" + r.FaultProfile
 	}
+	if r.Protocol != "" {
+		key += "/p" + r.Protocol
+	}
 	return key
 }
 
@@ -75,7 +80,7 @@ func HistoryEntryOf(r *Report, sha, note string, now time.Time) HistoryEntry {
 	e := HistoryEntry{
 		Key: historyKey(r), GitSHA: sha, Note: note, TimeUnix: now.Unix(),
 		DS: r.DS, Threads: r.Threads, Lease: r.Lease, Seed: r.Seed,
-		FaultProfile: r.FaultProfile,
+		FaultProfile: r.FaultProfile, Protocol: r.Protocol,
 		Ops: r.Ops, MopsPerSec: r.MopsPerSec, NJPerOp: r.NJPerOp,
 		MsgsPerOp: r.MsgsPerOp, MissesPerOp: r.MissesPerOp,
 		Error: r.Error,

@@ -103,7 +103,7 @@ func TestWriteHTMLReport(t *testing.T) {
 	out := buf.String()
 	for _, want := range []string{
 		"<!doctype html", "counter/t4/lease/s1", // sweep row
-		"svg class=\"spark\"", // histogram sparkline
+		"svg class=\"spark\"",                                 // histogram sparkline
 		"Lease ledger", "0x1c0", "Top lines by wasted cycles", // ledger section
 		"Cross-run trends", "svg class=\"trend\"", // trend section (2 runs on t4 key)
 		"10.000 &rarr; 11.000", "&#43;10.0%",

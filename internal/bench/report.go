@@ -26,6 +26,12 @@ type Report struct {
 	// their own trend lines.
 	FaultProfile string `json:"fault_profile,omitempty"`
 
+	// Protocol names the coherence protocol backend of a non-default run
+	// ("tardis"); empty — and omitted, keeping MSI reports byte-identical
+	// — for the default directory MSI. The history store folds it into
+	// the grouping key so per-protocol runs trend separately.
+	Protocol string `json:"protocol,omitempty"`
+
 	Ops           uint64  `json:"ops"`
 	MopsPerSec    float64 `json:"mops_per_sec"`
 	NJPerOp       float64 `json:"nj_per_op"`
@@ -88,6 +94,10 @@ type Counters struct {
 	CtrlClamps      uint64 `json:"ctrl_clamps,omitempty"`
 	CtrlShrinks     uint64 `json:"ctrl_shrinks,omitempty"`
 	CtrlGrows       uint64 `json:"ctrl_grows,omitempty"`
+
+	// Timestamp-protocol counters (Tardis); zero and omitted under MSI.
+	Renewals uint64 `json:"renewals,omitempty"`
+	RTSJumps uint64 `json:"rts_jumps,omitempty"`
 }
 
 // CountersOf converts a Stats snapshot to report form.
@@ -108,6 +118,7 @@ func CountersOf(s machine.Stats) Counters {
 		MaxDirQueue: s.MaxDirQueue,
 		Preemptions: s.Preemptions, PreemptedCycles: s.PreemptedCycles,
 		CtrlClamps: s.CtrlClamps, CtrlShrinks: s.CtrlShrinks, CtrlGrows: s.CtrlGrows,
+		Renewals: s.Renewals, RTSJumps: s.RTSJumps,
 	}
 }
 
@@ -189,6 +200,16 @@ func BuildLedgerReport(sum *telemetry.LedgerSummary, rec *telemetry.Recorder) *L
 	}
 }
 
+// protocolTag normalizes a config's protocol for report/history purposes:
+// the default MSI (under either spelling) is the empty tag, so existing
+// reports and history keys are unchanged.
+func protocolTag(p string) string {
+	if p == coherence.ProtocolMSI {
+		return ""
+	}
+	return p
+}
+
 // BuildReport assembles the JSON report for one telemetry-enabled run.
 func BuildReport(ds string, threads int, lease bool, cfg machine.Config,
 	warm, window uint64, r Result, rec *telemetry.Recorder, hotK int) Report {
@@ -197,7 +218,8 @@ func BuildReport(ds string, threads int, lease bool, cfg machine.Config,
 		DS: ds, Threads: threads, Lease: lease, Seed: cfg.Seed,
 		WarmCycles: warm, WindowCycles: window,
 		FaultProfile: cfg.Faults.Profile(),
-		Ops: r.Ops, MopsPerSec: r.MopsPerSec, NJPerOp: r.NJPerOp,
+		Protocol:     protocolTag(cfg.Protocol),
+		Ops:          r.Ops, MopsPerSec: r.MopsPerSec, NJPerOp: r.NJPerOp,
 		MissesPerOp: r.MissesPerOp, MsgsPerOp: r.MsgsPerOp,
 		CASFailsPerOp: r.CASFailsPerOp, Fairness: r.Fairness,
 		OpLatency: r.OpLatency, LeaseHold: r.LeaseHold,

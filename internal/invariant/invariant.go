@@ -116,6 +116,10 @@ type Checker struct {
 	histPos  int
 	histFull bool
 
+	// agreementRule names the per-line agreement invariant after the
+	// machine's protocol: "msi-agreement" or "tardis-agreement".
+	agreementRule string
+
 	// Checks counts individual invariant evaluations (tests use it to
 	// prove the checker actually ran).
 	Checks uint64
@@ -130,12 +134,13 @@ type Checker struct {
 func Attach(m *machine.Machine, cfg Config) *Checker {
 	cfg = cfg.withDefaults()
 	c := &Checker{
-		m:        m,
-		cfg:      cfg,
-		maxLease: m.Config().Lease.MaxLeaseTime,
-		maxN:     m.Config().Lease.MaxNumLeases,
-		deferred: make(map[defKey]deferral),
-		history:  make([]telemetry.Event, cfg.History),
+		m:             m,
+		cfg:           cfg,
+		maxLease:      m.Config().Lease.MaxLeaseTime,
+		maxN:          m.Config().Lease.MaxNumLeases,
+		deferred:      make(map[defKey]deferral),
+		history:       make([]telemetry.Event, cfg.History),
+		agreementRule: m.ProtocolName() + "-agreement",
 	}
 	m.Telemetry().SubscribeAll(c.onEvent)
 	return c
@@ -194,11 +199,13 @@ func (c *Checker) onEvent(e telemetry.Event) {
 	// CatTxn events mark transaction-internal instants (queue arrival,
 	// service, invalidation fan-out, completion hand-off) where the line
 	// is legitimately mid-transition — e.g. the directory has granted M
-	// while invalidation acks are still in flight — so MSI agreement is
-	// only probed on the protocol-level events.
+	// while invalidation acks are still in flight — so line agreement is
+	// only probed on the protocol-level events. The rule is named after
+	// the active protocol: MSI agreement for the directory, timestamp
+	// order (wts <= rts, reservations within rts) for Tardis.
 	if e.Line != 0 && e.Cat != telemetry.CatTxn {
 		if err := c.m.VerifyLine(e.Line); err != nil {
-			c.violate(e.Time, "msi-agreement", "%v", err)
+			c.violate(e.Time, c.agreementRule, "%v", err)
 		}
 	}
 
@@ -294,14 +301,14 @@ func (c *Checker) checkDeferred(now uint64) {
 	}
 }
 
-// CheckNow runs the full quiescent-state validation: the whole-directory
-// MSI cross-check plus every core's lease table. Call it after Run/Drain
+// CheckNow runs the full quiescent-state validation: the whole-protocol
+// line cross-check plus every core's lease table. Call it after Run/Drain
 // returns (per-event checks only cover lines that emitted events).
 func (c *Checker) CheckNow() {
 	now := c.m.Now()
 	c.Checks++
 	if err := c.m.VerifyCoherence(); err != nil {
-		c.violate(now, "msi-agreement", "%v", err)
+		c.violate(now, c.agreementRule, "%v", err)
 	}
 	for i := 0; i < c.m.NumCores(); i++ {
 		c.checkTable(i, now)

@@ -27,6 +27,12 @@ type Config struct {
 	// Timing holds L2/directory/network/DRAM latencies.
 	Timing coherence.Timing
 
+	// Protocol selects the coherence protocol backend: "" or
+	// coherence.ProtocolMSI for the directory MSI the paper evaluates on,
+	// coherence.ProtocolTardis for Tardis-style timestamp coherence. New
+	// panics on any other value (cmds validate before construction).
+	Protocol string
+
 	// Lease bounds the Lease/Release mechanism (MAX_LEASE_TIME,
 	// MAX_NUM_LEASES).
 	Lease core.Config
@@ -102,8 +108,8 @@ func DefaultConfig(cores int) Config {
 		L1HitLat:          1,
 		Timing:            coherence.DefaultTiming(),
 		Lease:             core.DefaultConfig(),
-		SoftLeaseStagger:  50,                       // ≈ one ownership-request round trip
-		SoftLeaseOverhead: 12,                       // sort + group bookkeeping per line
+		SoftLeaseStagger:  50,                        // ≈ one ownership-request round trip
+		SoftLeaseOverhead: 12,                        // sort + group bookkeeping per line
 		Predictor:         DefaultPredictorConfig(),  // Enable defaults to false
 		Controller:        DefaultControllerConfig(), // Enable defaults to false
 		Energy:            DefaultEnergy(),

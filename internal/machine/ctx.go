@@ -106,7 +106,7 @@ func (c *Ctx) access(a mem.Addr, write, lease bool) {
 	}
 	req := &coherence.Request{Core: c.cs.id, Line: l, Excl: write, Lease: lease}
 	c.m.mintTxn(c.cs, req)
-	c.m.dir.Submit(req)
+	c.m.proto.Submit(req)
 	c.p.Block(describeReq(req))
 	c.p.Work(c.m.cfg.L1HitLat)
 }
@@ -192,6 +192,7 @@ func (c *Ctx) LeaseAt(site uint64, a mem.Addr, dur uint64) {
 		// Already owned Exclusive: the lease starts immediately.
 		if started := cs.leases.Start(l, c.p.Clock()); started != nil {
 			cs.l1.Pin(l)
+			c.m.proto.LeaseStarted(cs.id, l, started.Duration)
 			c.m.traceVal(cs.id, TraceStart, l, started.Duration)
 			c.m.scheduleExpiry(cs, started)
 		}
@@ -200,7 +201,7 @@ func (c *Ctx) LeaseAt(site uint64, a mem.Addr, dur uint64) {
 	}
 	req := &coherence.Request{Core: cs.id, Line: l, Excl: true, Lease: true}
 	c.m.mintTxn(cs, req)
-	c.m.dir.Submit(req)
+	c.m.proto.Submit(req)
 	c.p.Block(describeReq(req))
 	c.p.Work(c.m.cfg.L1HitLat)
 }
@@ -270,12 +271,13 @@ func (c *Ctx) MultiLease(dur uint64, addrs ...mem.Addr) bool {
 		}
 		req := &coherence.Request{Core: cs.id, Line: l, Excl: true, Lease: true}
 		c.m.mintTxn(cs, req)
-		c.m.dir.Submit(req)
+		c.m.proto.Submit(req)
 		c.p.Block(describeReq(req))
 		c.p.Work(c.m.cfg.L1HitLat)
 	}
 	c.p.Sync()
 	for _, e := range cs.leases.StartGroup(c.p.Clock()) {
+		c.m.proto.LeaseStarted(cs.id, e.Line, e.Duration)
 		c.m.traceVal(cs.id, TraceStart, e.Line, e.Duration)
 		c.m.scheduleExpiry(cs, e)
 	}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"leaserelease/internal/cache"
+	"leaserelease/internal/coherence"
 	"leaserelease/internal/core"
 	"leaserelease/internal/faults"
 	"leaserelease/internal/mem"
@@ -21,6 +22,7 @@ type StateDump struct {
 	EventCount uint64        `json:"event_count"`
 	Pending    int           `json:"pending_events"`
 	Seed       uint64        `json:"seed"`
+	Protocol   string        `json:"protocol,omitempty"` // omitted under MSI (the default)
 	Cores      []CoreDump    `json:"cores"`
 	DirLines   []DirLineDump `json:"dir_lines"`
 	Faults     faults.Stats  `json:"fault_stats"`
@@ -35,6 +37,7 @@ type CoreDump struct {
 	BlockReason string      `json:"block_reason,omitempty"`
 	BlockSince  uint64      `json:"block_since,omitempty"`
 	Preempted   uint64      `json:"preempted_cycles,omitempty"`
+	PTS         uint64      `json:"pts,omitempty"` // program timestamp (timestamp protocols only)
 	Leases      []LeaseDump `json:"leases,omitempty"`
 }
 
@@ -53,8 +56,9 @@ type LeaseDump struct {
 	Pinned     bool   `json:"pinned"`
 }
 
-// DirLineDump is the directory's view of one active line (lines that are
-// Invalid with no queued work are omitted).
+// DirLineDump is the protocol's view of one active line (lines that are
+// Invalid with no queued work are omitted). WTS/RTS carry the per-line
+// timestamps of a timestamp protocol and are omitted under MSI.
 type DirLineDump struct {
 	Line     uint64 `json:"line"`
 	State    string `json:"state"`
@@ -62,6 +66,8 @@ type DirLineDump struct {
 	Sharers  uint64 `json:"sharers,omitempty"`
 	Busy     bool   `json:"busy,omitempty"`
 	QueueLen int    `json:"queue_len,omitempty"`
+	WTS      uint64 `json:"wts,omitempty"`
+	RTS      uint64 `json:"rts,omitempty"`
 }
 
 // EventDump is one telemetry event in dump form (stringly typed so the
@@ -100,12 +106,18 @@ func (m *Machine) DumpState() *StateDump {
 		Seed:       m.cfg.Seed,
 		Faults:     m.faults.Stats(),
 	}
+	if name := m.proto.Name(); name != coherence.ProtocolMSI {
+		d.Protocol = name
+	}
 	for _, cs := range m.cores {
 		cd := CoreDump{ID: cs.id}
 		if cs.proc != nil {
 			blocked, reason, since, done := cs.proc.Status()
 			cd.Blocked, cd.BlockReason, cd.BlockSince, cd.Done = blocked, reason, since, done
 			cd.Preempted = cs.proc.PreemptedCycles()
+		}
+		if pts, ok := m.proto.CoreTimestamp(cs.id); ok {
+			cd.PTS = pts
 		}
 		cs.leases.ForEach(func(e *core.Entry) {
 			grant, _ := e.GrantCycle()
@@ -118,15 +130,19 @@ func (m *Machine) DumpState() *StateDump {
 		})
 		d.Cores = append(d.Cores, cd)
 	}
-	m.dir.ForEachLine(func(l mem.Line, state string, owner int, sharers uint64, busy bool) {
-		q := m.dir.QueueLen(l)
+	m.proto.ForEachLine(func(l mem.Line, state string, owner int, sharers uint64, busy bool) {
+		q := m.proto.QueueLen(l)
 		if state == "I" && !busy && q == 0 {
 			return
 		}
-		d.DirLines = append(d.DirLines, DirLineDump{
+		ld := DirLineDump{
 			Line: uint64(l), State: state, Owner: owner, Sharers: sharers,
 			Busy: busy, QueueLen: q,
-		})
+		}
+		if wts, rts, ok := m.proto.LineTimestamps(l); ok {
+			ld.WTS, ld.RTS = wts, rts
+		}
+		d.DirLines = append(d.DirLines, ld)
 	})
 	sort.Slice(d.DirLines, func(i, j int) bool { return d.DirLines[i].Line < d.DirLines[j].Line })
 	return d
@@ -137,6 +153,9 @@ func (d *StateDump) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "machine state at cycle %d (seed %d, %d events executed, %d pending)\n",
 		d.Cycle, d.Seed, d.EventCount, d.Pending)
+	if d.Protocol != "" {
+		fmt.Fprintf(&b, "  protocol: %s\n", d.Protocol)
+	}
 	for _, c := range d.Cores {
 		status := "running"
 		switch {
@@ -147,6 +166,9 @@ func (d *StateDump) String() string {
 		}
 		if c.Preempted > 0 {
 			status += fmt.Sprintf(" (preempted %d cycles total)", c.Preempted)
+		}
+		if c.PTS > 0 {
+			status += fmt.Sprintf(" pts=%d", c.PTS)
 		}
 		fmt.Fprintf(&b, "  core %2d: %s\n", c.ID, status)
 		for _, l := range c.Leases {
@@ -168,8 +190,12 @@ func (d *StateDump) String() string {
 		}
 	}
 	for _, l := range d.DirLines {
-		fmt.Fprintf(&b, "  dir line %#x: %s owner %d sharers %#x busy=%v queue=%d\n",
-			l.Line, l.State, l.Owner, l.Sharers, l.Busy, l.QueueLen)
+		ts := ""
+		if l.WTS > 0 || l.RTS > 0 {
+			ts = fmt.Sprintf(" wts=%d rts=%d", l.WTS, l.RTS)
+		}
+		fmt.Fprintf(&b, "  dir line %#x: %s owner %d sharers %#x busy=%v queue=%d%s\n",
+			l.Line, l.State, l.Owner, l.Sharers, l.Busy, l.QueueLen, ts)
 	}
 	if f := (faults.Stats{}); d.Faults != f {
 		fmt.Fprintf(&b, "  faults injected: %+v\n", d.Faults)

@@ -1,14 +1,17 @@
 // Package machine assembles the full simulated multicore: event engine,
-// per-core L1 caches and lease tables, the directory MSI protocol, the
-// backing store, and the Ctx instruction-set surface that simulated
-// programs are written against.
+// per-core L1 caches and lease tables, a pluggable coherence protocol
+// (directory MSI by default, Tardis timestamp coherence via
+// Config.Protocol), the backing store, and the Ctx instruction-set surface
+// that simulated programs are written against.
 //
 // It corresponds to the paper's modified Graphite setup: "we extended the
 // L1 cache controller logic (at the cores) to implement memory leases. As
 // such, the directory did not have to be modified in any way." Here, too,
 // all lease logic lives on the core side (DeliverProbe, release paths);
-// the coherence.Directory is lease-agnostic apart from waiting for
-// ProbeDone.
+// the coherence.Protocol backend is lease-agnostic apart from waiting for
+// ProbeDone — though a protocol with native reservations (Tardis) is
+// additionally notified of lease starts/releases so it can mirror them
+// onto its own timestamp mechanism (see coherence.Protocol).
 package machine
 
 import (
@@ -16,6 +19,7 @@ import (
 
 	"leaserelease/internal/cache"
 	"leaserelease/internal/coherence"
+	"leaserelease/internal/coherence/tardis"
 	"leaserelease/internal/core"
 	"leaserelease/internal/faults"
 	"leaserelease/internal/mem"
@@ -29,7 +33,7 @@ type Machine struct {
 	eng   *sim.Engine
 	store mem.Store
 	alloc *mem.Allocator
-	dir   *coherence.Directory
+	proto coherence.Protocol
 	cores []*coreState
 
 	stats   Stats // machine-level counters (caches keep their own)
@@ -77,9 +81,20 @@ func New(cfg Config) *Machine {
 		alloc: mem.NewAllocator(),
 	}
 	m.faults = faults.New(cfg.Faults, cfg.Seed)
-	m.dir = coherence.NewDirectory(m.eng, (*dirEnv)(m), cfg.Timing)
-	m.dir.MESI = cfg.MESI
-	m.dir.Faults = m.faults
+	switch cfg.Protocol {
+	case "", coherence.ProtocolMSI:
+		dir := coherence.NewDirectory(m.eng, (*dirEnv)(m), cfg.Timing)
+		dir.MESI = cfg.MESI
+		dir.Faults = m.faults
+		m.proto = dir
+	case coherence.ProtocolTardis:
+		// cfg.MESI does not apply: Tardis has no Exclusive-clean state.
+		tp := tardis.New(m.eng, (*dirEnv)(m), cfg.Timing, tardis.Config{}, cfg.Cores)
+		tp.Faults = m.faults
+		m.proto = tp
+	default:
+		panic(fmt.Sprintf("machine: unknown Protocol %q (valid: %v)", cfg.Protocol, coherence.Protocols()))
+	}
 	l1cfg := cfg.L1
 	if ways := cfg.Faults.CapWays(l1cfg.Ways); ways != l1cfg.Ways {
 		// Capacity pressure: shrink associativity (and size with it, so
@@ -146,69 +161,51 @@ func (m *Machine) Stats() Stats {
 		s.L1Hits += c.l1.Hits
 		s.L1Misses += c.l1.Misses
 	}
-	s.DeferredProbes = m.dir.DeferredProbes
-	s.MaxDirQueue = m.dir.MaxQueue
+	ps := m.proto.ProtoStats()
+	s.DeferredProbes = ps.DeferredProbes
+	s.MaxDirQueue = ps.MaxQueue
+	s.Renewals = ps.Renewals
+	s.RTSJumps = ps.RTSJumps
 	return s
 }
 
-// Directory exposes the directory for tests and diagnostics.
-func (m *Machine) Directory() *coherence.Directory { return m.dir }
+// Protocol exposes the coherence protocol for tests and diagnostics.
+func (m *Machine) Protocol() coherence.Protocol { return m.proto }
 
-// VerifyCoherence cross-checks every tracked line's directory state
-// against the cores' L1 states: a Modified line has exactly one holder
-// (the recorded owner), a Shared line has no Modified holder and only
-// recorded sharers, an Invalid line is cached nowhere. Lines with
-// in-flight transactions are skipped. Call when the simulation is
-// quiescent (after Run/Drain); it returns the first violation found.
+// ProtocolName returns the canonical name of the active protocol.
+func (m *Machine) ProtocolName() string { return m.proto.Name() }
+
+// VerifyCoherence cross-checks every tracked line's committed protocol
+// state against the cores' L1 states and the protocol's own internal
+// invariants (MSI agreement for the directory, timestamp order for
+// Tardis). Lines with in-flight transactions are skipped. Call when the
+// simulation is quiescent (after Run/Drain); it returns the first
+// violation found.
 func (m *Machine) VerifyCoherence() error {
 	var err error
-	m.dir.ForEachLine(func(l mem.Line, state string, owner int, sharers uint64, busy bool) {
+	m.proto.ForEachLine(func(l mem.Line, state string, owner int, sharers uint64, busy bool) {
 		if err != nil || busy {
 			return
 		}
-		err = m.verifyLine(l, state, owner, sharers)
+		err = m.proto.VerifyLine(l, len(m.cores), func(core int) cache.State {
+			return m.cores[core].l1.State(l)
+		})
 	})
 	return err
 }
 
-// VerifyLine cross-checks one line's committed directory state against
+// VerifyLine cross-checks one line's committed protocol state against
 // every core's L1 state; a line mid-transaction is skipped (nil). The
 // runtime invariant checker calls this on every event touching the line,
 // which is how state corruption (e.g. a second writer) is caught within
 // one event of its introduction.
 func (m *Machine) VerifyLine(l mem.Line) error {
-	state, owner, sharers, busy := m.dir.LineInfo(l)
-	if busy {
+	if _, _, _, busy := m.proto.LineInfo(l); busy {
 		return nil
 	}
-	return m.verifyLine(l, state, owner, sharers)
-}
-
-func (m *Machine) verifyLine(l mem.Line, state string, owner int, sharers uint64) error {
-	for _, c := range m.cores {
-		st := c.l1.State(l)
-		switch state {
-		case "M":
-			if st == cache.Modified && c.id != owner {
-				return fmt.Errorf("line %#x: dir owner %d but core %d holds M", uint64(l), owner, c.id)
-			}
-			if st == cache.Shared {
-				return fmt.Errorf("line %#x: dir M but core %d holds S", uint64(l), c.id)
-			}
-		case "S":
-			if st == cache.Modified {
-				return fmt.Errorf("line %#x: dir S but core %d holds M", uint64(l), c.id)
-			}
-			if st == cache.Shared && sharers&(1<<uint(c.id)) == 0 {
-				return fmt.Errorf("line %#x: core %d holds S but is not a recorded sharer", uint64(l), c.id)
-			}
-		case "I":
-			if st != cache.Invalid {
-				return fmt.Errorf("line %#x: dir I but core %d holds %v", uint64(l), c.id, st)
-			}
-		}
-	}
-	return nil
+	return m.proto.VerifyLine(l, len(m.cores), func(core int) cache.State {
+		return m.cores[core].l1.State(l)
+	})
 }
 
 // Peek reads a word directly from the backing store (setup/verification
@@ -276,7 +273,7 @@ func (m *Machine) serveDeferred(cs *coreState, e *core.Entry) {
 		to = cache.Invalid
 	}
 	cs.l1.Downgrade(req.Line, to)
-	m.dir.ProbeDone(req)
+	m.proto.ProbeDone(req)
 }
 
 // scheduleExpiry arms the involuntary-release timer for a started lease.
@@ -301,6 +298,7 @@ func (m *Machine) scheduleExpiry(cs *coreState, e *core.Entry) {
 			m.stats.CtrlShrinks++
 		}
 		cs.l1.Unpin(line)
+		m.proto.LeaseReleased(cs.id, line)
 		m.serveDeferred(cs, x)
 	})
 }
@@ -313,6 +311,7 @@ func (m *Machine) releaseEntry(cs *coreState, e *core.Entry) {
 		m.stats.CtrlGrows++
 	}
 	cs.l1.Unpin(e.Line)
+	m.proto.LeaseReleased(cs.id, e.Line)
 	m.serveDeferred(cs, e)
 }
 
@@ -363,9 +362,9 @@ func (m *Machine) installLine(cs *coreState, l mem.Line, st cache.State) {
 	}
 	switch vst {
 	case cache.Modified:
-		m.dir.Writeback(cs.id, victim)
+		m.proto.Writeback(cs.id, victim)
 	case cache.Shared:
-		m.dir.SharerDrop(cs.id, victim)
+		m.proto.SharerDrop(cs.id, victim)
 	}
 }
 
@@ -390,6 +389,7 @@ func (d *dirEnv) DeliverProbe(owner int, req *coherence.Request) bool {
 			m.stats.BrokenLeases++
 			m.traceVal(owner, TraceBroken, req.Line, leaseHold(e, m.eng.Now()))
 			cs.l1.Unpin(req.Line)
+			m.proto.LeaseReleased(owner, req.Line)
 			if e.HasProbe() {
 				panic(&ProtocolViolationError{Rule: "proposition-1", Core: owner, Line: req.Line,
 					Detail: "broken lease already had a deferred probe"})
@@ -429,6 +429,7 @@ func (d *dirEnv) Complete(req *coherence.Request, st cache.State) {
 				cs.l1.Pin(req.Line)
 			} else if started := cs.leases.Start(req.Line, m.eng.Now()); started != nil {
 				cs.l1.Pin(req.Line)
+				m.proto.LeaseStarted(cs.id, req.Line, started.Duration)
 				m.traceVal(cs.id, TraceStart, req.Line, started.Duration)
 				m.scheduleExpiry(cs, started)
 			}

@@ -451,7 +451,7 @@ func TestUnsortedAcquisitionDeadlocks(t *testing.T) {
 				continue
 			}
 			req := newLeaseRequest(cs.id, l)
-			c.m.dir.Submit(req)
+			c.m.proto.Submit(req)
 			c.p.Block("unsorted group acquire")
 		}
 	}

@@ -29,6 +29,9 @@ type Stats struct {
 	IgnoredLeases       uint64 // skipped by the §5 speculative predictor
 	DeferredProbes      uint64 // probes queued at a leased core
 
+	Renewals uint64 // Tardis tag-only timestamp renewals (0 under MSI)
+	RTSJumps uint64 // Tardis writes whose commit time jumped past rts (0 under MSI)
+
 	CASSuccesses uint64
 	CASFailures  uint64
 
@@ -80,6 +83,8 @@ func (s Stats) Sub(prev Stats) Stats {
 	d.BrokenLeases -= prev.BrokenLeases
 	d.IgnoredLeases -= prev.IgnoredLeases
 	d.DeferredProbes -= prev.DeferredProbes
+	d.Renewals -= prev.Renewals
+	d.RTSJumps -= prev.RTSJumps
 	d.CASSuccesses -= prev.CASSuccesses
 	d.CASFailures -= prev.CASFailures
 	d.Preemptions -= prev.Preemptions
@@ -104,6 +109,10 @@ func (s Stats) String() string {
 	if s.Preemptions > 0 || s.CtrlClamps > 0 || s.CtrlShrinks > 0 || s.CtrlGrows > 0 {
 		fmt.Fprintf(&b, "\npreempt=%d (%d cycles) ctrl clamp=%d shrink=%d grow=%d",
 			s.Preemptions, s.PreemptedCycles, s.CtrlClamps, s.CtrlShrinks, s.CtrlGrows)
+	}
+	// Timestamp-protocol counters likewise stay silent under MSI.
+	if s.Renewals > 0 || s.RTSJumps > 0 {
+		fmt.Fprintf(&b, "\nrenewals=%d rtsjumps=%d", s.Renewals, s.RTSJumps)
 	}
 	return b.String()
 }

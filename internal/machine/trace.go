@@ -77,7 +77,7 @@ func (e TraceEvent) String() string {
 func (m *Machine) Telemetry() *telemetry.Bus {
 	if m.bus == nil {
 		m.bus = telemetry.NewBus(m.eng.Now)
-		m.dir.Bus = m.bus
+		m.proto.SetBus(m.bus)
 		for _, cs := range m.cores {
 			cs.l1.Bus = m.bus
 			cs.l1.CoreID = cs.id

@@ -114,6 +114,13 @@ const (
 	TxnProbeDone
 	// TxnComplete: the grant was committed and the requester resumed.
 	TxnComplete
+	// TxnRenew: a timestamp protocol served the request as a tag-only
+	// renewal — the line was unwritten since the requester's last copy, so
+	// only its read reservation (rts) was extended, with no data transfer.
+	// Aux is the renewal service latency in cycles; the span assembler
+	// books it into the PhaseInval bucket, which under Tardis holds
+	// renew/extension cycles instead of invalidation fan-out.
+	TxnRenew
 )
 
 // TxnFlag* describe a transaction in TxnBegin's Aux payload.

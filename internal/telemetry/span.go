@@ -33,6 +33,19 @@ const (
 	NumPhases
 )
 
+// PhaseName returns the display name of a phase under the named coherence
+// protocol. The only divergence is PhaseInval: Tardis has no invalidation
+// fan-out — its writes jump past read reservations instead — so under
+// Tardis that bucket carries tag-only renew/extension service cycles and
+// is labeled accordingly. Every other phase (and every phase under MSI)
+// keeps its canonical String name.
+func PhaseName(p Phase, protocol string) string {
+	if protocol == "tardis" && p == PhaseInval {
+		return "renew-extend"
+	}
+	return p.String()
+}
+
 func (p Phase) String() string {
 	switch p {
 	case PhaseReqNet:
@@ -64,6 +77,7 @@ type Span struct {
 	Lease    bool // initiated by a Lease instruction
 	Upgrade  bool // requester held the line Shared
 	Deferred bool // the owner probe was deferred behind a lease
+	Renewal  bool // served as a tag-only timestamp renewal (Tardis)
 
 	Begin, End uint64 // submit and completion cycles
 	Occupancy  uint64 // directory queue occupancy at arrival
@@ -93,6 +107,7 @@ type openSpan struct {
 type TxnStats struct {
 	Spans      uint64            // completed transactions counted
 	Deferred   uint64            // transactions that hit a lease deferral
+	Renewals   uint64            // transactions served as tag-only renewals (Tardis)
 	SpanCycles uint64            // sum of span totals
 	Phase      [NumPhases]uint64 // per-phase cycle totals across spans
 
@@ -186,6 +201,13 @@ func (sp *Spans) OnEvent(e Event) {
 		o.serviceLat = e.Aux
 	case TxnInval:
 		o.invalExtra = e.Aux
+	case TxnRenew:
+		// Tag-only renewal service cycles land in the PhaseInval bucket:
+		// Tardis replaces invalidation fan-out with rts renew/extension,
+		// so the bucket stays the "coherence work beyond the L2 access"
+		// slot under either protocol (see PhaseName).
+		o.invalExtra = e.Aux
+		o.span.Renewal = true
 	case TxnProbe:
 		o.forwarded = true
 		o.probe = e.Time
@@ -227,6 +249,9 @@ func (sp *Spans) finalize(o *openSpan) {
 		sp.stats.SpanCycles += s.Total()
 		if s.Deferred {
 			sp.stats.Deferred++
+		}
+		if s.Renewal {
+			sp.stats.Renewals++
 		}
 		for i, c := range s.Phases {
 			sp.stats.Phase[i] += c
@@ -336,6 +361,7 @@ func (t TxnPhases) Vec() [NumPhases]uint64 {
 type TxnSummary struct {
 	Count       uint64    `json:"count"`
 	Deferred    uint64    `json:"deferred"`
+	Renewals    uint64    `json:"renewals,omitempty"` // omitted under MSI, so its reports are unchanged
 	TotalCycles uint64    `json:"total_cycles"`
 	Phases      TxnPhases `json:"phases"`
 
@@ -349,7 +375,7 @@ type TxnSummary struct {
 // Summary converts the accounting to its JSON form.
 func (t *TxnStats) Summary() TxnSummary {
 	s := TxnSummary{
-		Count: t.Spans, Deferred: t.Deferred, TotalCycles: t.SpanCycles,
+		Count: t.Spans, Deferred: t.Deferred, Renewals: t.Renewals, TotalCycles: t.SpanCycles,
 		Phases: phasesOf(t.Phase),
 		Ops:    t.Ops, OpCycles: t.OpCycles,
 		OpTxnCycles: t.OpTxnCycles, OpOtherCycles: t.OpOtherCycles,
