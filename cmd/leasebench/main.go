@@ -39,6 +39,15 @@
 // serial order, so experiment output is byte-identical for any -parallel
 // value; only wall-clock changes.
 //
+// -shards parallelizes the event kernel *inside* each cell with
+// conservative time-windowed PDES (see DESIGN.md §14): the simulated
+// procs are partitioned across host threads and synchronized at
+// network-lookahead window boundaries, so a single large cell speeds up
+// too. The two axes compose — workers across cells, shards within a
+// cell. Output stays byte-identical at any -shards value; cells outside
+// the parallel certificate (telemetry-enabled measurements, Tardis,
+// fault injection) silently run the sequential kernel.
+//
 // -perfjson records per-experiment wall-clock times (the tracked host-
 // performance trajectory; see EXPERIMENTS.md §Host performance), and
 // -perfbase computes speedups against a previously recorded file.
@@ -62,6 +71,7 @@ import (
 
 	"leaserelease/internal/bench"
 	"leaserelease/internal/coherence"
+	"leaserelease/internal/machine"
 )
 
 // ExpPerf is one experiment's recorded host wall-clock.
@@ -77,12 +87,22 @@ type ExpPerf struct {
 // PerfReport is the schema of -perfjson output (BENCH_host.json): the
 // host-performance trajectory every PR is measured against.
 type PerfReport struct {
-	SchemaVersion    int       `json:"schema_version"`
-	GoVersion        string    `json:"go_version"`
-	GOOS             string    `json:"goos"`
-	GOARCH           string    `json:"goarch"`
-	NumCPU           int       `json:"num_cpu"`
-	Parallel         int       `json:"parallel"`
+	SchemaVersion int    `json:"schema_version"`
+	GoVersion     string `json:"go_version"`
+	GOOS          string `json:"goos"`
+	GOARCH        string `json:"goarch"`
+	NumCPU        int    `json:"num_cpu"`
+	Parallel      int    `json:"parallel"`
+	// EffectiveWorkers is the worker count the pool actually started
+	// (resolves -parallel 0 to GOMAXPROCS); Shards/EffectiveShards are
+	// the requested and certified per-cell shard counts, with ShardNote
+	// carrying the downgrade reason when they differ. A host where
+	// effective_workers * effective_shards > num_cpu timeshares, so its
+	// "parallel" wall-clock numbers are not scaling evidence.
+	EffectiveWorkers int       `json:"effective_workers"`
+	Shards           int       `json:"shards"`
+	EffectiveShards  int       `json:"effective_shards"`
+	ShardNote        string    `json:"shard_note,omitempty"`
 	Quick            bool      `json:"quick"`
 	Threads          []int     `json:"threads"`
 	WarmCycles       uint64    `json:"warm_cycles"`
@@ -121,6 +141,7 @@ func main() {
 		serveAddr = flag.String("serve", "", "serve live sweep introspection over HTTP on this address (e.g. :9090)")
 
 		parallel = flag.Int("parallel", 0, "worker pool size for sweep cells (0 = GOMAXPROCS, 1 = serial)")
+		shards   = flag.Int("shards", 1, "conservative-PDES shard count inside each cell's simulated machine (1 = sequential kernel; output is byte-identical at any value)")
 		perfjson = flag.String("perfjson", "", "write per-experiment wall-clock times as JSON to this file")
 		perfbase = flag.String("perfbase", "", "baseline perfjson file to compute speedups against")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -201,8 +222,29 @@ func main() {
 		p.Window = *window
 	}
 
+	p.Shards = *shards
+
 	stopProfiles := startProfiles(*cpuprof, *memprof)
 	p.Pool = bench.NewPool(*parallel)
+	// Record the counts the run actually gets, not the requested ones: a
+	// -parallel 4 run on a 1-CPU host timeshares, and a -shards request
+	// can fail certification — BENCH_host.json must say so.
+	effWorkers := p.Pool.Workers()
+	maxThreads := 0
+	for _, n := range p.Threads {
+		if n > maxThreads {
+			maxThreads = n
+		}
+	}
+	perfCfg := machine.DefaultConfig(maxThreads)
+	perfCfg.Protocol = p.Protocol
+	perfCfg.Shards = p.Shards
+	effShards, shardNote := machine.ShardPlan(perfCfg, maxThreads)
+	if over := effWorkers * effShards; over > runtime.NumCPU() {
+		fmt.Fprintf(os.Stderr,
+			"leasebench: warning: %d workers x %d shards exceeds NumCPU=%d; host threads will timeshare and wall-clock gains flatten\n",
+			effWorkers, effShards, runtime.NumCPU())
+	}
 	if *serveAddr != "" {
 		p.Progress = bench.NewProgress()
 		p.Progress.SetPool(p.Pool)
@@ -214,16 +256,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "leasebench: introspection on http://%s (/progress /metrics /debug/vars)\n", addr)
 	}
 	perf := &PerfReport{
-		SchemaVersion: 1,
-		GoVersion:     runtime.Version(),
-		GOOS:          runtime.GOOS,
-		GOARCH:        runtime.GOARCH,
-		NumCPU:        runtime.NumCPU(),
-		Parallel:      *parallel,
-		Quick:         *quick,
-		Threads:       p.Threads,
-		WarmCycles:    p.Warm,
-		WindowCycles:  p.Window,
+		SchemaVersion:    1,
+		GoVersion:        runtime.Version(),
+		GOOS:             runtime.GOOS,
+		GOARCH:           runtime.GOARCH,
+		NumCPU:           runtime.NumCPU(),
+		Parallel:         *parallel,
+		EffectiveWorkers: effWorkers,
+		Shards:           *shards,
+		EffectiveShards:  effShards,
+		ShardNote:        shardNote,
+		Quick:            *quick,
+		Threads:          p.Threads,
+		WarmCycles:       p.Warm,
+		WindowCycles:     p.Window,
 	}
 	// exit tears down the pool and flushes profiles and the perf report
 	// before the process ends (os.Exit skips deferred calls).

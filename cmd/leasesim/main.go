@@ -19,7 +19,17 @@
 // run on a host worker pool (-parallel, default GOMAXPROCS; each cell owns
 // a private simulated machine) with stdout/stderr buffered per cell and
 // emitted in sweep order, so output is byte-identical for any -parallel
-// value. A failing cell (deadlock, panic, protocol/invariant violation) is
+// value. -shards additionally parallelizes the event kernel *inside* each
+// cell with conservative time-windowed PDES (DESIGN.md §14): simulated
+// procs are partitioned across host threads and synchronized at network-
+// lookahead window boundaries. The axes compose — workers across cells,
+// shards within a cell — and output stays byte-identical at any -shards
+// value; cells outside the parallel certificate (telemetry-enabled runs,
+// Tardis, fault injection) silently use the sequential kernel. Note every
+// leasesim run records telemetry, so -shards only engages the parallel
+// executor for plain cells in other frontends (leasebench sweep cells);
+// here it mainly exercises the certification path.
+// A failing cell (deadlock, panic, protocol/invariant violation) is
 // reported on stderr with a machine state dump, the rest of the sweep
 // still runs, and the exit status is 1; -strict instead stops emitting at
 // the first failed cell. -invariants attaches the runtime invariant
@@ -119,6 +129,7 @@ func main() {
 		serveAddr  = flag.String("serve", "", "serve live sweep introspection over HTTP on this address (e.g. :9090)")
 
 		parallel = flag.Int("parallel", 0, "worker pool size for sweep cells (0 = GOMAXPROCS, 1 = serial)")
+		shards   = flag.Int("shards", 1, "conservative-PDES shard count inside each cell's simulated machine (1 = sequential kernel; output is byte-identical at any value)")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof  = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
@@ -150,6 +161,19 @@ func main() {
 
 	stopProfiles := startProfiles(*cpuprof, *memprof)
 	pool := bench.NewPool(*parallel)
+	if *shards > 1 {
+		// leasesim cells always attach a Recorder, which is outside the
+		// parallel certificate — the flag exists for interface parity and
+		// certification-path coverage, not wall-clock gains here.
+		fmt.Fprintf(os.Stderr,
+			"leasesim: note: runs are telemetry-enabled, so -shards %d uses the sequential kernel (output is byte-identical); use leasebench for sharded wall-clock gains\n",
+			*shards)
+	}
+	if pool.Workers() > runtime.NumCPU() {
+		fmt.Fprintf(os.Stderr,
+			"leasesim: warning: -parallel %d exceeds NumCPU=%d; host threads will timeshare and wall-clock gains flatten\n",
+			pool.Workers(), runtime.NumCPU())
+	}
 	exit := func(code int) {
 		pool.Close()
 		stopProfiles()
@@ -189,7 +213,7 @@ func main() {
 			samples: *samples, invariants: *invariants, faults: *faultsOn,
 			preempt: *preempt, preemptMin: *preemptMin, preemptMax: *preemptMax,
 			preemptTargeted: *preemptTgt, controller: *controller,
-			spans: *spans, ledger: *ledger, compactBuckets: *compactB,
+			spans: *spans, ledger: *ledger, compactBuckets: *compactB, shards: *shards,
 			progress: prog.Cell(fmt.Sprintf("%s/t%d", *dsName, n)),
 		}
 		futures[i] = bench.Go(pool, func() cellResult {
@@ -235,6 +259,7 @@ type cell struct {
 	timeline            string
 	samples             int
 	invariants, faults  bool
+	shards              int
 	preempt             int
 	preemptMin          uint64
 	preemptMax          uint64
@@ -281,6 +306,7 @@ func parseMulti(s string) stm.LeaseMode {
 func runCell(c cell, out, errOut io.Writer) bool {
 	cfg := machine.DefaultConfig(c.threads)
 	cfg.Protocol = c.protocol
+	cfg.Shards = c.shards
 	cfg.Lease.MaxLeaseTime = c.maxLease
 	cfg.RegularBreaksLease = c.priority
 	cfg.MESI = c.mesi

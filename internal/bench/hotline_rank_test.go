@@ -46,8 +46,8 @@ func TestHotLineRankingPinnedOnSeededRun(t *testing.T) {
 		t.Errorf("unleased flag line has deferrals: %d probes, %d cycles",
 			flag.Deferred, flag.DeferredCycles)
 	}
-	if counter.Deferred != 844 || counter.DeferredCycles != 90233 {
-		t.Errorf("counter line deferrals = %d probes, %d cycles; want 844, 90233",
+	if counter.Deferred != 844 || counter.DeferredCycles != 90249 {
+		t.Errorf("counter line deferrals = %d probes, %d cycles; want 844, 90249",
 			counter.Deferred, counter.DeferredCycles)
 	}
 	if counter.DeferredCycles < counter.Deferred {

@@ -1,0 +1,218 @@
+package bench
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"leaserelease/internal/coherence"
+	"leaserelease/internal/faults"
+	"leaserelease/internal/machine"
+	"leaserelease/internal/telemetry"
+)
+
+// These tests pin the sharded kernel's hard invariant: for a given config
+// and seed, measured output is byte-identical at every shard count. The
+// MSI cells must actually certify for parallel execution (the assertion on
+// EffectiveShards keeps the comparison non-vacuous); everything the
+// certification excludes — Tardis, telemetry, fault injection — must
+// degrade to serial with a stated reason and still produce identical
+// output.
+
+// shardRun runs the contended-counter workload at the given shard count
+// and reports the result plus the shard count the machine actually used.
+func shardRun(proto string, shards, threads int, warm, window uint64) (Result, int, string) {
+	cfg := machine.DefaultConfig(threads)
+	cfg.Protocol = proto
+	cfg.Shards = shards
+	var m *machine.Machine
+	r := Throughput(cfg, threads, warm, window, CounterWorkload(CounterLeasedTTS),
+		func(mm *machine.Machine) { m = mm })
+	eff, reason := m.EffectiveShards()
+	return r, eff, reason
+}
+
+func TestShardsByteIdenticalResults(t *testing.T) {
+	const threads, warm, window = 8, 20_000, 60_000
+	for _, proto := range []string{coherence.ProtocolMSI, coherence.ProtocolTardis} {
+		t.Run(proto, func(t *testing.T) {
+			base, eff, reason := shardRun(proto, 1, threads, warm, window)
+			if base.Err != nil {
+				t.Fatalf("baseline run failed: %v", base.Err)
+			}
+			if eff != 1 {
+				t.Fatalf("shards=1 ran with %d effective shards", eff)
+			}
+			_ = reason
+			for _, k := range []int{2, 4} {
+				r, eff, reason := shardRun(proto, k, threads, warm, window)
+				if r.Err != nil {
+					t.Fatalf("shards=%d run failed: %v", k, r.Err)
+				}
+				switch proto {
+				case coherence.ProtocolMSI:
+					// Non-vacuous: MSI with no telemetry and no faults
+					// must certify and actually run multi-shard.
+					if eff < 2 {
+						t.Fatalf("shards=%d: MSI run did not certify (eff=%d, reason=%q)",
+							k, eff, reason)
+					}
+				case coherence.ProtocolTardis:
+					if eff != 1 || !strings.Contains(reason, "not shard-certified") {
+						t.Fatalf("shards=%d: Tardis must degrade to serial, got eff=%d reason=%q",
+							k, eff, reason)
+					}
+				}
+				if !reflect.DeepEqual(base, r) {
+					t.Fatalf("shards=%d result differs from serial baseline:\nserial: %+v\nsharded: %+v",
+						k, base, r)
+				}
+			}
+		})
+	}
+}
+
+// TestShardsComposeWithParallel exercises the two axes together: host
+// workers across cells (Pool) and shards within each cell. Every pooled
+// sharded cell must match its serial unsharded twin byte for byte.
+func TestShardsComposeWithParallel(t *testing.T) {
+	const threads, warm, window = 8, 20_000, 60_000
+	seeds := []uint64{1, 2, 3, 4}
+
+	serial := make([]Result, len(seeds))
+	for i, seed := range seeds {
+		cfg := machine.DefaultConfig(threads)
+		cfg.Seed = seed
+		serial[i] = Throughput(cfg, threads, warm, window, CounterWorkload(CounterLeasedTTS))
+	}
+
+	pool := NewPool(4)
+	defer pool.Close()
+	futs := make([]*Future[Result], len(seeds))
+	effs := make([]int, len(seeds))
+	for i, seed := range seeds {
+		i, seed := i, seed
+		futs[i] = Go(pool, func() Result {
+			cfg := machine.DefaultConfig(threads)
+			cfg.Seed = seed
+			cfg.Shards = 4
+			var m *machine.Machine
+			r := Throughput(cfg, threads, warm, window, CounterWorkload(CounterLeasedTTS),
+				func(mm *machine.Machine) { m = mm })
+			effs[i], _ = m.EffectiveShards()
+			return r
+		})
+	}
+	for i := range seeds {
+		got := futs[i].Get()
+		if got.Err != nil {
+			t.Fatalf("cell %d failed: %v", i, got.Err)
+		}
+		if effs[i] < 2 {
+			t.Fatalf("cell %d did not certify for sharding (eff=%d)", i, effs[i])
+		}
+		if !reflect.DeepEqual(serial[i], got) {
+			t.Fatalf("cell %d: pooled sharded result differs from serial baseline", i)
+		}
+	}
+}
+
+// TestShardsTelemetryDegradesToSerial pins the certification rule that
+// keeps golden reports stable: a Recorder attaches a telemetry bus, so a
+// measured run ignores Shards (degrading with a reason) and its results —
+// including latency digests and span accounting — are untouched.
+func TestShardsTelemetryDegradesToSerial(t *testing.T) {
+	const threads, warm, window = 8, 20_000, 60_000
+	run := func(shards int) (Result, int, string) {
+		cfg := machine.DefaultConfig(threads)
+		cfg.Shards = shards
+		rec := telemetry.NewRecorder()
+		rec.EnableSpans()
+		var m *machine.Machine
+		r := ThroughputOpts(cfg, threads, warm, window, CounterWorkload(CounterLeasedTTS),
+			Options{Recorder: rec, Hooks: []func(*machine.Machine){func(mm *machine.Machine) { m = mm }}})
+		eff, reason := m.EffectiveShards()
+		return r, eff, reason
+	}
+	base, _, _ := run(1)
+	sharded, eff, reason := run(4)
+	if eff != 1 || reason != "telemetry attached" {
+		t.Fatalf("telemetry run must serialize: eff=%d reason=%q", eff, reason)
+	}
+	if !reflect.DeepEqual(base, sharded) {
+		t.Fatal("telemetry-enabled result changed when Shards was set")
+	}
+	if base.OpLatency == nil || base.Txns == nil {
+		t.Fatal("measured run lost its telemetry digests")
+	}
+}
+
+// TestShardsSweepTablesByteIdentical renders a real experiment table —
+// fig3-counter mixes shard-certified plain cells (tts/ticket/clh) with
+// telemetry-degraded ones (lease) — across shards × pool sizes ×
+// protocols and requires the emitted bytes never change.
+func TestShardsSweepTablesByteIdentical(t *testing.T) {
+	base := Params{Threads: []int{2, 8}, Warm: 20_000, Window: 60_000}
+	e, ok := Find("fig3-counter")
+	if !ok {
+		t.Fatal("fig3-counter not found")
+	}
+	for _, proto := range []string{"", coherence.ProtocolTardis} {
+		p := base
+		p.Protocol = proto
+		var serial bytes.Buffer
+		e.Run(&serial, p)
+		if serial.Len() == 0 {
+			t.Fatalf("proto %q: experiment produced no output", proto)
+		}
+		for _, shards := range []int{2, 4} {
+			for _, workers := range []int{1, 4} {
+				q := p
+				q.Shards = shards
+				q.Pool = NewPool(workers)
+				var got bytes.Buffer
+				e.Run(&got, q)
+				q.Pool.Close()
+				if !bytes.Equal(serial.Bytes(), got.Bytes()) {
+					t.Errorf("proto %q shards=%d workers=%d: table differs from serial:\n%s",
+						proto, shards, workers, got.String())
+				}
+			}
+		}
+	}
+}
+
+// TestShardsChaosSoakDegradation is the sharded chaos-soak: fault
+// injection (preemption storms) is outside the parallel certificate, so a
+// sharded soak must degrade to serial with the documented reason and
+// reproduce the serial degradation profile exactly — same fault schedule,
+// same preempted-cycle accounting, same throughput.
+func TestShardsChaosSoakDegradation(t *testing.T) {
+	const threads, warm, window = 8, 20_000, 120_000
+	run := func(shards int) (Result, int, string) {
+		cfg := machine.DefaultConfig(threads)
+		cfg.Shards = shards
+		cfg.Faults = faults.Config{Enabled: true, PreemptPermille: 10,
+			PreemptMin: 5_000, PreemptMax: 40_000}
+		var m *machine.Machine
+		r := Throughput(cfg, threads, warm, window, CounterWorkload(CounterLeasedTTS),
+			func(mm *machine.Machine) { m = mm })
+		eff, reason := m.EffectiveShards()
+		return r, eff, reason
+	}
+	base, _, _ := run(1)
+	if base.Err != nil {
+		t.Fatalf("serial soak failed: %v", base.Err)
+	}
+	if base.Faults.Preemptions == 0 {
+		t.Fatal("soak delivered no preemptions; raise the window or rate")
+	}
+	sharded, eff, reason := run(4)
+	if eff != 1 || reason != "fault injection enabled" {
+		t.Fatalf("faulted run must serialize: eff=%d reason=%q", eff, reason)
+	}
+	if !reflect.DeepEqual(base, sharded) {
+		t.Fatal("sharded chaos-soak profile differs from serial")
+	}
+}

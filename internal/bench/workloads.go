@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"sync/atomic"
+
 	"leaserelease/internal/apps/pagerank"
 	"leaserelease/internal/ds"
 	"leaserelease/internal/locks"
@@ -67,7 +69,9 @@ func AutoStackWorkload() func(d *machine.Direct) OpFunc {
 		for i := 0; i < 64; i++ {
 			s.Push(d, uint64(i)+1)
 		}
-		autos := map[int]*machine.Auto{}
+		// Indexed by tid (one slot per core) so concurrent shards touch
+		// disjoint entries — a tid-keyed map would race under -shards.
+		var autos [64]*machine.Auto
 		return func(tid int, c *machine.Ctx) {
 			a := autos[tid]
 			if a == nil {
@@ -140,7 +144,7 @@ func CounterWorkload(kind CounterKind) func(d *machine.Direct) OpFunc {
 		switch kind {
 		case CounterCLH:
 			l := locks.NewCLH(d)
-			handles := make(map[int]*locks.CLHHandle)
+			var handles [64]*locks.CLHHandle // per-tid slots: shard-safe
 			return func(tid int, c *machine.Ctx) {
 				h := handles[tid]
 				if h == nil {
@@ -303,7 +307,7 @@ func TL2Workload(mode stm.LeaseMode, aborts *uint64) func(d *machine.Direct) OpF
 			if j >= i {
 				j++
 			}
-			*aborts += uint64(tl.UpdatePair(c, i, j, 1))
+			atomic.AddUint64(aborts, uint64(tl.UpdatePair(c, i, j, 1)))
 			jitter(c)
 		}
 	}
@@ -464,8 +468,8 @@ func SnapshotWorkload(useLease bool, words int, attempts, snaps *uint64) func(d 
 			} else {
 				_, n = snap.DoubleCollect(c)
 			}
-			*attempts += uint64(n)
-			*snaps++
+			atomic.AddUint64(attempts, uint64(n))
+			atomic.AddUint64(snaps, 1)
 			jitter(c)
 		}
 	}

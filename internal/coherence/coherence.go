@@ -17,6 +17,7 @@ package coherence
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"leaserelease/internal/cache"
 	"leaserelease/internal/faults"
@@ -159,10 +160,22 @@ type Env interface {
 }
 
 // Directory is the shared-L2 directory controller.
+//
+// Under the sharded engine the directory's own state (entries, queues, RNG)
+// lives in the system domain; every mutation of it happens in sys-domain
+// events. Core-side effects (probe delivery, invalidation, grant install)
+// are scheduled as events on the owning core's domain, and every
+// cross-domain message carries at least Timing.Net cycles of latency — the
+// conservative lookahead the windowed executor relies on.
 type Directory struct {
 	eng *sim.Engine
 	env Env
 	t   Timing
+
+	// dom is the system domain (directory/L2/memory side); cores caches
+	// per-core domain handles for scheduling core-side events.
+	dom   *sim.Domain
+	cores [64]*sim.Domain
 
 	// MESI enables MESI-style Exclusive-clean fills (§8 "Other
 	// Protocols"): a read fill with no other sharer is granted in
@@ -198,9 +211,19 @@ type Directory struct {
 func NewDirectory(eng *sim.Engine, env Env, t Timing) *Directory {
 	return &Directory{
 		eng: eng, env: env, t: t,
+		dom:     eng.Sys(),
 		entries: make(map[mem.Line]*dirEntry),
 		rng:     sim.NewRNG(0xD12EC7),
 	}
+}
+
+// coreDom returns the scheduling domain of core c (the proc domains are
+// keyed by core id, see Engine.Spawn).
+func (d *Directory) coreDom(c int) *sim.Domain {
+	if d.cores[c] == nil {
+		d.cores[c] = d.eng.Domain(uint32(c))
+	}
+	return d.cores[c]
 }
 
 func (d *Directory) entry(l mem.Line) *dirEntry {
@@ -231,10 +254,17 @@ func (d *Directory) txn(req *Request, core int, kind uint8, aux uint64) {
 // Submit issues a request from a core at the current time. The request
 // message takes one network hop (plus jitter) to reach the directory,
 // where it enters the line's FIFO queue.
+//
+// Submit runs in the requesting core's domain. The message is scheduled at
+// the fixed +Net lower bound (the conservative lookahead); jitter and fault
+// delays are drawn at the directory in canonical arrival order, so the RNG
+// draw sequence — and hence every simulated number — is identical at any
+// shard count.
 func (d *Directory) Submit(req *Request) {
-	req.Issued = d.eng.Now()
+	src := d.coreDom(req.Core)
+	req.Issued = src.Now()
 	d.countMsg(req.Line, MsgRequest, 1)
-	d.eng.After(d.t.Net+d.jitter()+d.Faults.MsgDelay(), func() { d.arrive(req) })
+	src.CrossAt(d.dom, src.Now()+d.t.Net, func() { d.reachDir(req) })
 }
 
 // jitter draws 0..NetJitter extra cycles from the directory's RNG.
@@ -243,6 +273,17 @@ func (d *Directory) jitter() sim.Time {
 		return 0
 	}
 	return d.rng.Uint64n(uint64(d.t.NetJitter) + 1)
+}
+
+// reachDir runs in the directory's domain when a request has covered the
+// minimum network distance; it applies the variable part of the traversal
+// (jitter, injected delay) before the request enters the line's queue.
+func (d *Directory) reachDir(req *Request) {
+	if extra := d.jitter() + d.Faults.MsgDelay(); extra > 0 {
+		d.dom.After(extra, func() { d.arrive(req) })
+		return
+	}
+	d.arrive(req)
 }
 
 func (d *Directory) arrive(req *Request) {
@@ -268,7 +309,7 @@ func (d *Directory) arrive(req *Request) {
 // second schedule is harmless and per-line FIFO order is preserved.
 func (d *Directory) serviceMaybeStalled(l mem.Line) {
 	if st := d.Faults.DirStall(); st > 0 {
-		d.eng.After(st, func() { d.service(l) })
+		d.dom.After(st, func() { d.service(l) })
 		return
 	}
 	d.service(l)
@@ -298,7 +339,9 @@ func (d *Directory) service(l mem.Line) {
 		d.txn(req, req.Core, telemetry.TxnService, 0)
 		d.countMsg(l, MsgForward, 1)
 		owner := e.owner
-		d.eng.After(d.t.L2Tag+d.t.Net+d.Faults.MsgDelay(), func() { d.probeArrive(owner, req) })
+		od := d.coreDom(owner)
+		d.dom.CrossAt(od, d.dom.Now()+d.t.L2Tag+d.t.Net+d.Faults.MsgDelay(),
+			func() { d.probeArrive(owner, req) })
 
 	case e.state == dirS && req.Excl:
 		// Invalidate all other sharers, then grant Modified.
@@ -313,7 +356,8 @@ func (d *Directory) service(l mem.Line) {
 			for c := 0; c < 64; c++ {
 				if others&bit(c) != 0 {
 					c := c
-					d.eng.After(d.t.L2Tag+d.t.Net, func() { d.env.Invalidate(c, l) })
+					d.dom.CrossAt(d.coreDom(c), d.dom.Now()+d.t.L2Tag+d.t.Net,
+						func() { d.env.Invalidate(c, l) })
 				}
 			}
 			acksDone := d.t.L2Tag + d.t.Net + d.t.Inval + d.t.Net
@@ -326,7 +370,7 @@ func (d *Directory) service(l mem.Line) {
 		}
 		d.env.CountL2()
 		d.countMsg(l, MsgReply, 1)
-		d.eng.After(dataReady+d.t.Net+d.Faults.MsgDelay(), func() { d.complete(req) })
+		d.scheduleComplete(d.dom, d.dom.Now()+dataReady+d.t.Net+d.Faults.MsgDelay(), req)
 
 	default:
 		// Uncached fill, a read of a Shared line, or a request by the
@@ -353,76 +397,107 @@ func (d *Directory) service(l mem.Line) {
 			req.newSharers = e.sharers | bit(req.Core)
 		}
 		d.countMsg(l, MsgReply, 1)
-		d.eng.After(lat+d.t.Net+d.Faults.MsgDelay(), func() { d.complete(req) })
+		d.scheduleComplete(d.dom, d.dom.Now()+lat+d.t.Net+d.Faults.MsgDelay(), req)
 	}
 }
 
-// probeArrive runs when a forwarded probe reaches the owning core.
+// probeArrive runs in the owning core's domain when a forwarded probe
+// reaches it.
 func (d *Directory) probeArrive(owner int, req *Request) {
 	d.txn(req, owner, telemetry.TxnProbe, 0)
 	if d.env.DeliverProbe(owner, req) {
-		d.DeferredProbes++
+		atomic.AddUint64(&d.DeferredProbes, 1)
 		d.txn(req, owner, telemetry.TxnDefer, 0)
 		return // env will call ProbeDone on lease release/expiry
 	}
-	d.ownerDowngraded(req)
+	d.ownerDowngraded(owner, req)
 }
 
-// ProbeDone resumes a deferred probe: the machine calls it (after
-// downgrading its L1 copy) when the lease on req.Line is released,
-// voluntarily or involuntarily.
-func (d *Directory) ProbeDone(req *Request) { d.ownerDowngraded(req) }
+// ProbeDone resumes a deferred probe: the machine calls it from the owning
+// core's context (after downgrading its L1 copy) when the lease on
+// req.Line is released, voluntarily or involuntarily.
+func (d *Directory) ProbeDone(owner int, req *Request) { d.ownerDowngraded(owner, req) }
 
-func (d *Directory) ownerDowngraded(req *Request) {
-	// Owner sends the data directly to the requester and an
-	// ownership-transfer ack to the directory.
+// ownerDowngraded runs in the (former) owner's domain: the owner sends the
+// data directly to the requester and an ownership-transfer ack to the
+// directory.
+func (d *Directory) ownerDowngraded(owner int, req *Request) {
 	d.txn(req, req.Core, telemetry.TxnProbeDone, 0)
 	d.countMsg(req.Line, MsgReply, 1)
 	d.countMsg(req.Line, MsgAck, 1)
-	d.eng.After(d.t.Inval+d.t.Net+d.Faults.MsgDelay(), func() { d.complete(req) })
+	src := d.coreDom(owner)
+	d.scheduleComplete(src, src.Now()+d.t.Inval+d.t.Net+d.Faults.MsgDelay(), req)
 }
 
-// complete commits the directory transition, installs the line at the
-// requester, and starts servicing the next queued request for the line.
-func (d *Directory) complete(req *Request) {
-	e := d.entry(req.Line)
-	e.state = req.newState
-	e.owner = req.newOwner
-	e.sharers = req.newSharers
-	if e.state == dirM {
-		e.sharers = bit(req.newOwner)
-	}
+// scheduleComplete schedules the two halves of a transaction's completion
+// from domain src at time t: the grant delivery to the requesting core, and
+// the directory's state commit. The grant is a core-domain event; the
+// commit is a sys-domain event whose closure captures the decided
+// transition (it never reads req, so the requester may immediately reuse
+// the Request object). Both land at the same cycle; the event key orders
+// the core delivery before the directory commit, matching the sequential
+// protocol's observable order.
+func (d *Directory) scheduleComplete(src *sim.Domain, t sim.Time, req *Request) {
 	st := cache.Shared
 	if req.Excl || req.exclClean {
 		st = cache.Modified
 	}
+	line, core, txnID := req.Line, req.Core, req.Txn
+	ns, no, nsh := req.newState, req.newOwner, req.newSharers
+	src.CrossAt(d.coreDom(req.Core), t, func() {
+		d.txn(req, core, telemetry.TxnComplete, 0)
+		d.env.Complete(req, st)
+	})
+	src.CrossAt(d.dom, t, func() { d.commit(line, ns, no, nsh, txnID) })
+}
+
+// commit applies the directory transition decided at service time and
+// starts servicing the next queued request for the line. Runs in the
+// directory's domain; it deliberately captures values rather than the
+// Request, which the requester owns again by this point.
+func (d *Directory) commit(l mem.Line, ns dirState, no int, nsh uint64, txnID uint64) {
+	_ = txnID
+	e := d.entry(l)
+	e.state = ns
+	e.owner = no
+	e.sharers = nsh
+	if e.state == dirM {
+		e.sharers = bit(no)
+	}
 	e.busy = false
-	d.txn(req, req.Core, telemetry.TxnComplete, 0)
-	d.env.Complete(req, st)
 	if len(e.queue) > 0 {
-		d.serviceMaybeStalled(req.Line)
+		d.serviceMaybeStalled(l)
 	}
 }
 
-// Writeback records a dirty eviction by core on line l. Modeled as
-// synchronous with the eviction (the writeback buffer drains off the
-// critical path); the message is still counted.
+// Writeback records a dirty eviction by core on line l. The notice takes
+// one network hop to reach the directory; a transaction that races it sees
+// the stale owner and resolves via the probe path (the staleness guard
+// below drops the notice if ownership has already moved on).
 func (d *Directory) Writeback(core int, l mem.Line) {
 	d.countMsg(l, MsgWriteback, 1)
-	e := d.entry(l)
-	if e.state == dirM && e.owner == core {
-		e.state = dirI
-		e.sharers = 0
-	}
+	src := d.coreDom(core)
+	src.CrossAt(d.dom, src.Now()+d.t.Net, func() {
+		e := d.entry(l)
+		if e.state == dirM && e.owner == core {
+			e.state = dirI
+			e.sharers = 0
+		}
+	})
 }
 
 // SharerDrop records a silent Shared eviction (no message in MSI; the
 // directory's sharer list simply goes stale, and a later invalidation to a
-// non-holder is absorbed by the core). Kept for symmetry and tests.
+// non-holder is absorbed by the core). The bookkeeping update still rides
+// a one-hop notification so the directory map is only touched from its own
+// domain.
 func (d *Directory) SharerDrop(core int, l mem.Line) {
-	if e, ok := d.entries[l]; ok {
-		e.sharers &^= bit(core)
-	}
+	src := d.coreDom(core)
+	src.CrossAt(d.dom, src.Now()+d.t.Net, func() {
+		if e, ok := d.entries[l]; ok {
+			e.sharers &^= bit(core)
+		}
+	})
 }
 
 // State reports the directory's view of a line (for tests/diagnostics):

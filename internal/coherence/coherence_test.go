@@ -201,7 +201,7 @@ func TestDeferredProbeStallsLineOnly(t *testing.T) {
 	}
 	// Now release: ProbeDone resumes the stalled transaction.
 	env.deferNext = false
-	d.ProbeDone(env.probes[0])
+	d.ProbeDone(0, env.probes[0])
 	eng.Drain()
 	if st, owner, _ := d.State(5); st != "M" || owner != 1 {
 		t.Fatalf("after ProbeDone dir = %s/%d, want M/1", st, owner)
@@ -221,7 +221,7 @@ func TestQueueBehindDeferredProbe(t *testing.T) {
 	if got := d.QueueLen(5); got != 2 { // one in service + one queued
 		t.Fatalf("QueueLen = %d, want 2", got)
 	}
-	d.ProbeDone(env.probes[0])
+	d.ProbeDone(0, env.probes[0])
 	eng.Drain()
 	// Both queued requests complete in order; core 2's probe is NOT
 	// deferred (deferNext off), so everything drains.
@@ -237,7 +237,8 @@ func TestWritebackInvalidatesDirState(t *testing.T) {
 	eng, _, d := setup(t)
 	d.Submit(&Request{Core: 0, Line: 4, Excl: true})
 	eng.Drain()
-	d.Writeback(0, 4)
+	d.Writeback(0, 4) // async: the notice takes one network hop
+	eng.Drain()
 	if st, _, _ := d.State(4); st != "I" {
 		t.Fatalf("dir after writeback = %s, want I", st)
 	}
@@ -245,6 +246,7 @@ func TestWritebackInvalidatesDirState(t *testing.T) {
 	d.Submit(&Request{Core: 1, Line: 4, Excl: true})
 	eng.Drain()
 	d.Writeback(0, 4)
+	eng.Drain()
 	if st, owner, _ := d.State(4); st != "M" || owner != 1 {
 		t.Fatalf("stale writeback clobbered dir state: %s/%d", st, owner)
 	}
@@ -255,7 +257,8 @@ func TestSharerDrop(t *testing.T) {
 	d.Submit(&Request{Core: 0, Line: 4, Excl: false})
 	d.Submit(&Request{Core: 1, Line: 4, Excl: false})
 	eng.Drain()
-	d.SharerDrop(0, 4)
+	d.SharerDrop(0, 4) // async: the notice takes one network hop
+	eng.Drain()
 	if _, _, sharers := d.State(4); sharers != 0b10 {
 		t.Fatalf("sharers = %b, want 10", sharers)
 	}

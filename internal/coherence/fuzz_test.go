@@ -89,7 +89,7 @@ func (e *fuzzEnv) DeliverProbe(owner int, req *coherence.Request) bool {
 		e.eng.After(delay, func() {
 			delete(e.deferred, k)
 			e.downgrade(owner, req)
-			e.d.ProbeDone(req)
+			e.d.ProbeDone(owner, req)
 		})
 		return true
 	}

@@ -65,8 +65,11 @@ type Protocol interface {
 	// calls back into its Env (probes, invalidations, Complete) as the
 	// transaction progresses.
 	Submit(req *Request)
-	// ProbeDone resumes a probe the Env deferred behind a lease.
-	ProbeDone(req *Request)
+	// ProbeDone resumes a probe the Env deferred behind a lease. owner is
+	// the core that held the probe (the call runs in that core's context,
+	// which under sharding determines the source domain of the resulting
+	// messages).
+	ProbeDone(owner int, req *Request)
 	// Writeback records a dirty (Modified) eviction by core on line l.
 	Writeback(core int, l mem.Line)
 	// SharerDrop records a silent Shared eviction by core on line l.

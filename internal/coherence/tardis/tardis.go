@@ -287,7 +287,9 @@ func (p *Protocol) probeArrive(owner int, req *coherence.Request) {
 }
 
 // ProbeDone resumes a deferred probe after the lease on req.Line released.
-func (p *Protocol) ProbeDone(req *coherence.Request) { p.ownerDowngraded(req) }
+// owner (the releasing core) is unused here: Tardis always runs
+// single-shard, where the source domain does not matter.
+func (p *Protocol) ProbeDone(owner int, req *coherence.Request) { p.ownerDowngraded(req) }
 
 func (p *Protocol) ownerDowngraded(req *coherence.Request) {
 	p.txn(req, req.Core, telemetry.TxnProbeDone, 0)

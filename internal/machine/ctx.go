@@ -2,8 +2,8 @@ package machine
 
 import (
 	"sort"
+	"sync/atomic"
 
-	"leaserelease/internal/coherence"
 	"leaserelease/internal/mem"
 	"leaserelease/internal/sim"
 )
@@ -90,8 +90,11 @@ func (c *Ctx) Work(n uint64) { c.p.Work(n) }
 // Rand returns the thread's deterministic RNG.
 func (c *Ctx) Rand() *sim.RNG { return c.p.RNG() }
 
-// Alloc returns a fresh cache-line-aligned, line-padded block.
-func (c *Ctx) Alloc(size uint64) mem.Addr { return c.m.alloc.AllocAligned(size) }
+// Alloc returns a fresh cache-line-aligned, line-padded block. Each core
+// allocates from its own fixed-base arena, so the addresses a thread sees
+// depend only on its own allocation sequence — shard- and
+// interleaving-invariant, and lock-free under parallel windows.
+func (c *Ctx) Alloc(size uint64) mem.Addr { return c.cs.arena.AllocAligned(size) }
 
 // access obtains the line of a with read or write permission, blocking
 // through the coherence protocol on a miss. On return the access itself
@@ -104,10 +107,11 @@ func (c *Ctx) access(a mem.Addr, write, lease bool) {
 		c.p.Work(c.m.cfg.L1HitLat)
 		return
 	}
-	req := &coherence.Request{Core: c.cs.id, Line: l, Excl: write, Lease: lease}
+	req := c.m.acquireReq(c.cs, l, write, lease)
 	c.m.mintTxn(c.cs, req)
 	c.m.proto.Submit(req)
 	c.p.Block(describeReq(req))
+	c.m.releaseReq(c.cs, req)
 	c.p.Work(c.m.cfg.L1HitLat)
 }
 
@@ -127,11 +131,11 @@ func (c *Ctx) Store(a mem.Addr, v uint64) {
 func (c *Ctx) CAS(a mem.Addr, old, new uint64) bool {
 	c.access(a, true, false)
 	if c.m.store.Load(a) != old {
-		c.m.stats.CASFailures++
+		atomic.AddUint64(&c.m.stats.CASFailures, 1)
 		return false
 	}
 	c.m.store.Store(a, new)
-	c.m.stats.CASSuccesses++
+	atomic.AddUint64(&c.m.stats.CASSuccesses, 1)
 	return true
 }
 
@@ -164,7 +168,7 @@ func (c *Ctx) LeaseAt(site uint64, a mem.Addr, dur uint64) {
 	c.p.Sync()
 	cs := c.cs
 	if cs.pred.shouldIgnore(site) {
-		c.m.stats.IgnoredLeases++
+		atomic.AddUint64(&c.m.stats.IgnoredLeases, 1)
 		c.m.trace(cs.id, TraceIgnored, mem.LineOf(a))
 		c.p.Work(1)
 		return
@@ -176,15 +180,15 @@ func (c *Ctx) LeaseAt(site uint64, a mem.Addr, dur uint64) {
 		return
 	}
 	if g, clamped := cs.ctrl.grant(site, dur); clamped {
-		c.m.stats.CtrlClamps++
+		atomic.AddUint64(&c.m.stats.CtrlClamps, 1)
 		dur = g
 	}
-	c.m.stats.Leases++
+	atomic.AddUint64(&c.m.stats.Leases, 1)
 	c.m.trace(cs.id, TraceLease, l)
 	evicted, _ := cs.leases.Insert(l, dur, false)
 	cs.leases.Find(l).Site = site
 	if evicted != nil {
-		c.m.stats.EvictedLeases++
+		atomic.AddUint64(&c.m.stats.EvictedLeases, 1)
 		c.m.traceVal(cs.id, TraceEvicted, evicted.Line, leaseHold(evicted, c.p.Clock()))
 		c.m.releaseEntry(cs, evicted)
 	}
@@ -199,10 +203,11 @@ func (c *Ctx) LeaseAt(site uint64, a mem.Addr, dur uint64) {
 		c.p.Work(c.m.cfg.L1HitLat)
 		return
 	}
-	req := &coherence.Request{Core: cs.id, Line: l, Excl: true, Lease: true}
+	req := c.m.acquireReq(cs, l, true, true)
 	c.m.mintTxn(cs, req)
 	c.m.proto.Submit(req)
 	c.p.Block(describeReq(req))
+	c.m.releaseReq(cs, req)
 	c.p.Work(c.m.cfg.L1HitLat)
 }
 
@@ -219,7 +224,7 @@ func (c *Ctx) Release(a mem.Addr) bool {
 	if e == nil {
 		return false
 	}
-	c.m.stats.VoluntaryReleases++
+	atomic.AddUint64(&c.m.stats.VoluntaryReleases, 1)
 	c.m.traceVal(cs.id, TraceVoluntary, e.Line, leaseHold(e, now))
 	c.m.releaseEntry(cs, e)
 	return true
@@ -237,7 +242,7 @@ func (c *Ctx) ReleaseAll() {
 func (c *Ctx) releaseAllNow() {
 	cs := c.cs
 	for _, e := range cs.leases.RemoveAll() {
-		c.m.stats.VoluntaryReleases++
+		atomic.AddUint64(&c.m.stats.VoluntaryReleases, 1)
 		c.m.traceVal(cs.id, TraceVoluntary, e.Line, leaseHold(e, c.p.Clock()))
 		c.m.releaseEntry(cs, e)
 	}
@@ -259,7 +264,7 @@ func (c *Ctx) MultiLease(dur uint64, addrs ...mem.Addr) bool {
 		c.p.Work(1)
 		return false
 	}
-	c.m.stats.MultiLeases++
+	atomic.AddUint64(&c.m.stats.MultiLeases, 1)
 	cs := c.cs
 	for _, l := range lines {
 		c.p.Sync()
@@ -269,10 +274,11 @@ func (c *Ctx) MultiLease(dur uint64, addrs ...mem.Addr) bool {
 			c.p.Work(c.m.cfg.L1HitLat)
 			continue
 		}
-		req := &coherence.Request{Core: cs.id, Line: l, Excl: true, Lease: true}
+		req := c.m.acquireReq(cs, l, true, true)
 		c.m.mintTxn(cs, req)
 		c.m.proto.Submit(req)
 		c.p.Block(describeReq(req))
+		c.m.releaseReq(cs, req)
 		c.p.Work(c.m.cfg.L1HitLat)
 	}
 	c.p.Sync()

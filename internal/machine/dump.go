@@ -113,6 +113,13 @@ func (m *Machine) DumpState() *StateDump {
 		cd := CoreDump{ID: cs.id}
 		if cs.proc != nil {
 			blocked, reason, since, done := cs.proc.Status()
+			if blocked && strings.HasPrefix(reason, "waiting for Get") {
+				// Blocked on a coherence miss: the core's pooled request
+				// is in flight exactly while it blocks, so the line it
+				// waits on is read back here instead of being formatted
+				// into the (hot-path, allocation-free) block reason.
+				reason = fmt.Sprintf("%s on line %#x", reason, uint64(cs.req.Line))
+			}
 			cd.Blocked, cd.BlockReason, cd.BlockSince, cd.Done = blocked, reason, since, done
 			cd.Preempted = cs.proc.PreemptedCycles()
 		}

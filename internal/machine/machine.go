@@ -16,6 +16,7 @@ package machine
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"leaserelease/internal/cache"
 	"leaserelease/internal/coherence"
@@ -40,6 +41,13 @@ type Machine struct {
 	spawned int
 	bus     *telemetry.Bus   // nil until Telemetry() — telemetry disabled
 	faults  *faults.Injector // nil unless cfg.Faults.Enabled
+
+	// Sharding state (see applySharding): effShards is the certified
+	// shard count actually applied to the engine (1 = sequential),
+	// shardReason explains a downgrade from cfg.Shards.
+	shardsDone  bool
+	effShards   int
+	shardReason string
 }
 
 // ProtocolViolationError is the panic value raised when simulated hardware
@@ -65,9 +73,18 @@ type coreState struct {
 	l1     *cache.Cache
 	leases *core.Table
 	proc   *sim.Proc
+	dom    *sim.Domain    // the core's scheduling domain (shard-local clock)
+	arena  *mem.Allocator // per-core allocation arena (Ctx.Alloc)
 	pred   *leasePredictor
 	ctrl   *leaseController
 	txnSeq uint64 // per-core transaction counter (span tracing only)
+
+	// req is the core's reusable coherence request: an in-order core has
+	// at most one outstanding transaction, so one pooled Request per core
+	// replaces a heap allocation per miss. reqBusy backs the race-build
+	// poison mode (see pool_poison_race.go).
+	req     *coherence.Request
+	reqBusy bool
 }
 
 // New builds a machine from cfg.
@@ -108,11 +125,22 @@ func New(cfg Config) *Machine {
 			id:     i,
 			l1:     cache.New(l1cfg),
 			leases: core.NewTable(cfg.Lease),
+			dom:    m.eng.Domain(uint32(i)),
+			arena:  mem.NewAllocatorAt(coreArenaBase(i)),
 			pred:   newLeasePredictor(cfg.Predictor),
 			ctrl:   newLeaseController(cfg.Controller, cfg.Lease.MaxLeaseTime),
+			req:    new(coherence.Request),
 		}
 	}
 	return m
+}
+
+// coreArenaBase places each core's allocation arena at a fixed,
+// core-indexed address so Ctx.Alloc is lock-free under sharding and the
+// addresses a workload sees depend only on its own allocation sequence —
+// never on cross-core interleaving or the shard count.
+func coreArenaBase(core int) mem.Addr {
+	return mem.Addr(1)<<40 | mem.Addr(core)<<32
 }
 
 // Config returns the machine's configuration.
@@ -144,10 +172,96 @@ func (m *Machine) Spawn(start uint64, fn func(*Ctx)) {
 // threads finish). It returns a *sim.DeadlockError if the simulation
 // deadlocks — which Lease/Release guarantees cannot happen unless the
 // protocol is misused (see the unsorted-multilease negative test).
-func (m *Machine) Run(untilCycle uint64) error { return m.eng.Run(untilCycle) }
+func (m *Machine) Run(untilCycle uint64) error {
+	m.applySharding()
+	return m.eng.Run(untilCycle)
+}
 
 // Drain runs until all threads finish.
-func (m *Machine) Drain() error { return m.eng.Drain() }
+func (m *Machine) Drain() error {
+	m.applySharding()
+	return m.eng.Drain()
+}
+
+// applySharding certifies and applies the cfg.Shards request before the
+// first Run. Parallel windows only engage for configurations whose entire
+// event graph is shard-safe: the MSI directory (whose message paths are
+// domain-routed with >= Timing.Net lookahead), no telemetry bus (bus
+// subscribers — spans, ledger, invariant checker, recorder histograms —
+// are single-consumer host state), and no fault injection (the injector's
+// draw order is defined by the global event order). Everything else runs
+// the sequential executor, which is the identical event order anyway —
+// byte-identical output is preserved in both directions.
+func (m *Machine) applySharding() {
+	if m.shardsDone {
+		return
+	}
+	m.shardsDone = true
+	k, reason := shardPlan(m.cfg.Shards, m.proto.Name(), m.bus != nil,
+		m.faults != nil, m.cfg.Timing.Net, m.spawned)
+	m.effShards, m.shardReason = k, reason
+	if k <= 1 {
+		return
+	}
+	workers := uint32(k - 1)
+	m.eng.ConfigureSharding(k, m.cfg.Timing.Net, func(dom uint32) int {
+		if dom == sim.SysDomain {
+			return 0 // directory/L2/memory side
+		}
+		return 1 + int(dom%workers)
+	})
+}
+
+// shardPlan is the certification decision itself, pure so hosts can
+// predict it: the requested shard count is granted only when every input
+// to the event graph is shard-safe, and otherwise downgraded to 1 with
+// the reason.
+func shardPlan(requested int, protoName string, busAttached, faultsEnabled bool,
+	net sim.Time, spawned int) (int, string) {
+	k := requested
+	var reason string
+	switch {
+	case k <= 1:
+		k = 1
+	case protoName != coherence.ProtocolMSI:
+		k, reason = 1, "protocol "+protoName+" is not shard-certified"
+	case busAttached:
+		k, reason = 1, "telemetry attached"
+	case faultsEnabled:
+		k, reason = 1, "fault injection enabled"
+	case net == 0:
+		k, reason = 1, "Timing.Net = 0 leaves no lookahead"
+	case spawned < 2:
+		k, reason = 1, "fewer than two threads"
+	}
+	if k > spawned+1 {
+		k = spawned + 1 // no empty worker shards
+	}
+	return k, reason
+}
+
+// ShardPlan predicts the shard count a plain (no-telemetry) run of cfg
+// with the given spawned thread count will certify to, and the downgrade
+// reason if any. Hosts use it to record effective shard counts (e.g.
+// leasebench -perfjson) without building a machine; telemetry-enabled
+// cells additionally serialize ("telemetry attached").
+func ShardPlan(cfg Config, threads int) (int, string) {
+	proto := cfg.Protocol
+	if proto == "" {
+		proto = coherence.ProtocolMSI
+	}
+	return shardPlan(cfg.Shards, proto, false, cfg.Faults.Enabled, cfg.Timing.Net, threads)
+}
+
+// EffectiveShards reports the shard count actually applied (1 before the
+// first Run, or when the configuration could not be certified) and, when
+// cfg.Shards was downgraded, why.
+func (m *Machine) EffectiveShards() (int, string) {
+	if !m.shardsDone {
+		return 1, "not yet running"
+	}
+	return m.effShards, m.shardReason
+}
 
 // Stop tears down all still-blocked threads. Call after the final Run so
 // machines do not leak goroutines.
@@ -266,14 +380,14 @@ func (m *Machine) serveDeferred(cs *coreState, e *core.Entry) {
 	req := p.(*coherence.Request)
 	if m.bus != nil {
 		m.bus.Emit2(telemetry.CatLease, cs.id, telemetry.ProbeServed, e.Line,
-			m.eng.Now()-e.ProbeQueuedAt, req.Txn)
+			cs.dom.Now()-e.ProbeQueuedAt, req.Txn)
 	}
 	to := cache.Shared
 	if req.Excl {
 		to = cache.Invalid
 	}
 	cs.l1.Downgrade(req.Line, to)
-	m.proto.ProbeDone(req)
+	m.proto.ProbeDone(cs.id, req)
 }
 
 // scheduleExpiry arms the involuntary-release timer for a started lease.
@@ -286,16 +400,16 @@ func (m *Machine) scheduleExpiry(cs *coreState, e *core.Entry) {
 	if cut := m.faults.LeaseCut(e.Duration); cut > 0 {
 		at -= cut
 	}
-	m.eng.At(at, func() {
+	cs.dom.At(at, func() {
 		x := cs.leases.RemoveIfGen(line, gen)
 		if x == nil {
 			return // released voluntarily (or evicted) in the meantime
 		}
-		m.stats.InvoluntaryReleases++
+		atomic.AddUint64(&m.stats.InvoluntaryReleases, 1)
 		m.traceVal(cs.id, TraceInvoluntary, line, x.Duration)
 		cs.pred.record(x.Site, false)
 		if shrank, _ := cs.ctrl.record(x.Site, false); shrank {
-			m.stats.CtrlShrinks++
+			atomic.AddUint64(&m.stats.CtrlShrinks, 1)
 		}
 		cs.l1.Unpin(line)
 		m.proto.LeaseReleased(cs.id, line)
@@ -308,7 +422,7 @@ func (m *Machine) scheduleExpiry(cs *coreState, e *core.Entry) {
 func (m *Machine) releaseEntry(cs *coreState, e *core.Entry) {
 	cs.pred.record(e.Site, true)
 	if _, grew := cs.ctrl.record(e.Site, true); grew {
-		m.stats.CtrlGrows++
+		atomic.AddUint64(&m.stats.CtrlGrows, 1)
 	}
 	cs.l1.Unpin(e.Line)
 	m.proto.LeaseReleased(cs.id, e.Line)
@@ -352,8 +466,8 @@ func (m *Machine) installLine(cs *coreState, l mem.Line, st cache.State) {
 			panic(&ProtocolViolationError{Rule: "pinned-set", Core: cs.id, Line: l,
 				Detail: "L1 set fully pinned but lease table empty"})
 		}
-		m.stats.ForcedReleases++
-		m.traceVal(cs.id, TraceForced, e.Line, leaseHold(e, m.eng.Now()))
+		atomic.AddUint64(&m.stats.ForcedReleases, 1)
+		m.traceVal(cs.id, TraceForced, e.Line, leaseHold(e, cs.dom.Now()))
 		m.releaseEntry(cs, e)
 	}
 	victim, vst, evicted := cs.l1.Install(l, st)
@@ -382,12 +496,12 @@ func (d *dirEnv) m() *Machine { return (*Machine)(d) }
 func (d *dirEnv) DeliverProbe(owner int, req *coherence.Request) bool {
 	m := d.m()
 	cs := m.cores[owner]
-	if cs.leases.ShouldDefer(req.Line, m.eng.Now()) {
+	if cs.leases.ShouldDefer(req.Line, cs.dom.Now()) {
 		if m.cfg.RegularBreaksLease && !req.Lease {
 			// §5 prioritization: a regular request breaks the lease.
 			e := cs.leases.Remove(req.Line)
-			m.stats.BrokenLeases++
-			m.traceVal(owner, TraceBroken, req.Line, leaseHold(e, m.eng.Now()))
+			atomic.AddUint64(&m.stats.BrokenLeases, 1)
+			m.traceVal(owner, TraceBroken, req.Line, leaseHold(e, cs.dom.Now()))
 			cs.l1.Unpin(req.Line)
 			m.proto.LeaseReleased(owner, req.Line)
 			if e.HasProbe() {
@@ -397,7 +511,7 @@ func (d *dirEnv) DeliverProbe(owner int, req *coherence.Request) bool {
 		} else {
 			cs.leases.QueueProbe(req.Line, req)
 			if e := cs.leases.Find(req.Line); e != nil {
-				e.ProbeQueuedAt = m.eng.Now()
+				e.ProbeQueuedAt = cs.dom.Now()
 			}
 			m.trace(owner, TraceDeferred, req.Line)
 			return true
@@ -427,7 +541,7 @@ func (d *dirEnv) Complete(req *coherence.Request, st cache.State) {
 				// Group countdowns start jointly once the whole group
 				// is owned (Ctx.MultiLease drives StartGroup).
 				cs.l1.Pin(req.Line)
-			} else if started := cs.leases.Start(req.Line, m.eng.Now()); started != nil {
+			} else if started := cs.leases.Start(req.Line, cs.dom.Now()); started != nil {
 				cs.l1.Pin(req.Line)
 				m.proto.LeaseStarted(cs.id, req.Line, started.Duration)
 				m.traceVal(cs.id, TraceStart, req.Line, started.Duration)
@@ -435,11 +549,13 @@ func (d *dirEnv) Complete(req *coherence.Request, st cache.State) {
 			}
 		}
 	}
-	cs.proc.WakeAt(m.eng.Now())
+	cs.proc.WakeAt(cs.dom.Now())
 }
 
+// CountMsg runs in whichever domain sent the message, so the shared
+// counters are atomic; sums are order-free and therefore shard-invariant.
 func (d *dirEnv) CountMsg(kind coherence.MsgKind, n int) {
-	d.m().stats.Msgs[kind] += uint64(n)
+	atomic.AddUint64(&d.m().stats.Msgs[kind], uint64(n))
 }
 
 func (d *dirEnv) CountL2()   { d.m().stats.L2Accesses++ }
@@ -447,13 +563,19 @@ func (d *dirEnv) CountDRAM() { d.m().stats.DRAMAccesses++ }
 
 var _ coherence.Env = (*dirEnv)(nil)
 
+// describeReq names the block reason for a coherence miss. It returns one
+// of four static strings so the miss path stays allocation-free; the line
+// being waited on is recovered from the core's pooled in-flight request on
+// the cold dump path (see DumpState), not carried in the string.
 func describeReq(req *coherence.Request) string {
-	kind := "GetS"
-	if req.Excl {
-		kind = "GetX"
+	switch {
+	case req.Excl && req.Lease:
+		return "waiting for GetX(lease)"
+	case req.Excl:
+		return "waiting for GetX"
+	case req.Lease:
+		return "waiting for GetS(lease)"
+	default:
+		return "waiting for GetS"
 	}
-	if req.Lease {
-		kind += "(lease)"
-	}
-	return fmt.Sprintf("waiting for %s on line %#x", kind, uint64(req.Line))
 }

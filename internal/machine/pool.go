@@ -1,0 +1,34 @@
+package machine
+
+import (
+	"leaserelease/internal/coherence"
+	"leaserelease/internal/mem"
+)
+
+// Request pooling. An in-order core has at most one coherence transaction
+// outstanding (Proposition 1: the core blocks in Ctx until Complete wakes
+// it), so a single reusable Request per core replaces one heap allocation
+// per L1 miss. The pooled object is live from acquireReq until the
+// requester's Block returns; by then the protocol side has finished with
+// it — the MSI directory's commit event deliberately captures the decided
+// transition by value instead of reading the Request (see
+// coherence.Directory.scheduleComplete), and Tardis reads it only inside
+// the completion event that precedes the requester's wake.
+//
+// Race builds add a poison mode (pool_poison_race.go): reuse while a
+// request is still in flight panics, and released requests are scribbled
+// so any stale read trips loudly (bit() panics on the poisoned core index)
+// instead of silently corrupting determinism.
+
+// acquireReq readies the core's pooled request for one transaction.
+func (m *Machine) acquireReq(cs *coreState, l mem.Line, excl, lease bool) *coherence.Request {
+	req := cs.req
+	poisonAcquire(cs, req)
+	*req = coherence.Request{Core: cs.id, Line: l, Excl: excl, Lease: lease}
+	return req
+}
+
+// releaseReq returns the pooled request after its transaction completed.
+func (m *Machine) releaseReq(cs *coreState, req *coherence.Request) {
+	poisonRelease(cs, req)
+}

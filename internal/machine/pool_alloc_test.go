@@ -1,0 +1,55 @@
+//go:build !race
+
+package machine
+
+import "testing"
+
+// Zero-alloc guards for the pooled request path, in the style of
+// sim/alloc_test.go: every simulated memory access that misses issues one
+// coherence request, so a per-transaction allocation here would dominate
+// host time with GC work at scale. (The whole file is compiled out under
+// -race, where poison mode deliberately trades cost for loud lifecycle
+// failures and AllocsPerRun over-counts anyway.)
+
+// TestRequestPoolZeroAlloc asserts an acquire/release transaction cycle
+// allocates nothing: the request is a per-core slot, not a fresh object.
+func TestRequestPoolZeroAlloc(t *testing.T) {
+	m := New(testConfig(1))
+	cs := m.cores[0]
+	allocs := testing.AllocsPerRun(1000, func() {
+		req := m.acquireReq(cs, 5, true, false)
+		m.releaseReq(cs, req)
+	})
+	if allocs != 0 {
+		t.Errorf("request acquire/release allocates %.1f objects, want 0", allocs)
+	}
+}
+
+// TestDescribeReqZeroAlloc asserts the block-reason string for a miss is
+// static (the waited-on line is recovered from the pooled request on the
+// cold dump path instead of being formatted per miss).
+func TestDescribeReqZeroAlloc(t *testing.T) {
+	m := New(testConfig(1))
+	cs := m.cores[0]
+	req := m.acquireReq(cs, 5, true, true)
+	defer m.releaseReq(cs, req)
+	allocs := testing.AllocsPerRun(1000, func() {
+		_ = describeReq(req)
+	})
+	if allocs != 0 {
+		t.Errorf("describeReq allocates %.1f objects, want 0", allocs)
+	}
+}
+
+// TestCoreArenaAllocZeroAlloc asserts simulated-memory allocation from a
+// core's private arena is a pure bump (no host allocation, no lock).
+func TestCoreArenaAllocZeroAlloc(t *testing.T) {
+	m := New(testConfig(1))
+	cs := m.cores[0]
+	allocs := testing.AllocsPerRun(1000, func() {
+		_ = cs.arena.AllocAligned(64)
+	})
+	if allocs != 0 {
+		t.Errorf("arena AllocAligned allocates %.1f host objects, want 0", allocs)
+	}
+}

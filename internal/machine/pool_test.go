@@ -1,0 +1,27 @@
+package machine
+
+import "testing"
+
+// TestRequestPoolReuse pins the pooling contract: a core's coherence
+// requests come from a single per-core slot (an in-order core has at most
+// one transaction in flight — Proposition 1), so consecutive transactions
+// reuse the same Request object with fields freshly initialized.
+func TestRequestPoolReuse(t *testing.T) {
+	m := New(testConfig(2))
+	cs := m.cores[1]
+
+	r1 := m.acquireReq(cs, 5, true, false)
+	if r1.Core != 1 || r1.Line != 5 || !r1.Excl || r1.Lease {
+		t.Fatalf("first acquire fields wrong: %+v", r1)
+	}
+	m.releaseReq(cs, r1)
+
+	r2 := m.acquireReq(cs, 9, false, true)
+	if r2 != r1 {
+		t.Fatal("pool did not reuse the per-core request slot")
+	}
+	if r2.Core != 1 || r2.Line != 9 || r2.Excl || !r2.Lease || r2.Txn != 0 {
+		t.Fatalf("reused request not reinitialized: %+v", r2)
+	}
+	m.releaseReq(cs, r2)
+}

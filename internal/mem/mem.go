@@ -7,6 +7,11 @@
 // machine's address space, never host pointers.
 package mem
 
+import (
+	"sync"
+	"sync/atomic"
+)
+
 // Addr is a simulated memory address (byte-granular).
 type Addr uint64
 
@@ -36,14 +41,29 @@ const (
 
 // Store is the backing word store. The zero value is ready to use; unwritten
 // words read as zero.
+//
+// The page index is copy-on-write behind an atomic pointer so concurrent
+// shards can access the store without a lock on the hot path: readers and
+// writers of existing pages go straight to the page array, and only page
+// creation takes the mutex (copying the index, then publishing the new
+// snapshot). Word-level discipline is the coherence protocol's job — within
+// one execution window two shards never touch the same word, because
+// ownership transfer costs at least a network hop more than the lookahead.
 type Store struct {
-	pages map[uint64]*[pageWords]uint64
+	pages atomicPages
+	mu    sync.Mutex // serializes page creation only
 }
+
+type atomicPages = atomic.Pointer[map[uint64]*[pageWords]uint64]
 
 // Load returns the 8-byte word at address a. a must be word-aligned.
 func (s *Store) Load(a Addr) uint64 {
 	checkAligned(a)
-	p, ok := s.pages[uint64(a)>>pageShift]
+	m := s.pages.Load()
+	if m == nil {
+		return 0
+	}
+	p, ok := (*m)[uint64(a)>>pageShift]
 	if !ok {
 		return 0
 	}
@@ -54,15 +74,36 @@ func (s *Store) Load(a Addr) uint64 {
 func (s *Store) Store(a Addr, v uint64) {
 	checkAligned(a)
 	idx := uint64(a) >> pageShift
-	p, ok := s.pages[idx]
-	if !ok {
-		if s.pages == nil {
-			s.pages = make(map[uint64]*[pageWords]uint64)
+	if m := s.pages.Load(); m != nil {
+		if p, ok := (*m)[idx]; ok {
+			p[(uint64(a)>>3)&(pageWords-1)] = v
+			return
 		}
-		p = new([pageWords]uint64)
-		s.pages[idx] = p
 	}
-	p[(uint64(a)>>3)&(pageWords-1)] = v
+	s.page(idx)[(uint64(a)>>3)&(pageWords-1)] = v
+}
+
+// page returns the page for idx, creating and publishing it under the
+// mutex if needed.
+func (s *Store) page(idx uint64) *[pageWords]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.pages.Load()
+	if old != nil {
+		if p, ok := (*old)[idx]; ok {
+			return p // another writer created it meanwhile
+		}
+	}
+	next := make(map[uint64]*[pageWords]uint64, 1)
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	p := new([pageWords]uint64)
+	next[idx] = p
+	s.pages.Store(&next)
+	return p
 }
 
 func checkAligned(a Addr) {
@@ -82,6 +123,17 @@ type Allocator struct {
 // address 0 can serve as the simulated NULL.
 func NewAllocator() *Allocator {
 	return &Allocator{next: LineSize} // skip line 0; addr 0 is NULL
+}
+
+// NewAllocatorAt returns an allocator whose arena starts at base. Disjoint
+// fixed bases give each simulated core a private arena: allocations need
+// no lock and the addresses one core sees are independent of other cores'
+// allocation activity. base 0 is bumped to LineSize (NULL protection).
+func NewAllocatorAt(base Addr) *Allocator {
+	if base == 0 {
+		base = LineSize
+	}
+	return &Allocator{next: base}
 }
 
 // Alloc returns a word-aligned block of at least size bytes.

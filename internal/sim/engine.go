@@ -1,26 +1,30 @@
 // Package sim provides a deterministic discrete-event simulation kernel.
 //
-// The kernel is sequential: events execute one at a time in global
-// (cycle, sequence) order, and simulated cores run as coroutines that are
-// woken by events and yield before every action that can observe or affect
-// shared simulated state. Exactly one actor — the Run caller or one proc —
-// executes at any instant, so given fixed seeds every run is bit-for-bit
-// reproducible.
+// Events execute in a canonical total order keyed by
+// (cycle, target domain, source domain, per-source sequence). A domain is a
+// scheduling context owned by one simulated actor (one core, or the shared
+// system side — directory, L2, memory). The key is shard-invariant: it never
+// references global scheduling order, so the same simulation partitioned
+// across any number of shards executes per-domain work in the same order and
+// produces bit-identical results (see shard.go for the windowed parallel
+// executor; with one shard the engine is the familiar sequential kernel).
 //
-// Scheduling uses direct switching: whichever goroutine currently holds the
-// execution token drives the event loop, and when the next event is another
-// proc's wake the token moves goroutine-to-goroutine in a single channel
-// handoff (when it is the driver's own wake, no handoff at all) instead of
-// bouncing through a central scheduler goroutine. The Run caller gets the
-// token back when the run is over. This halves — often eliminates — the
-// channel operations per proc wake, the dominant host cost of the
-// simulation.
+// Simulated cores run as coroutines that are woken by events and yield
+// before every action that can observe or affect shared simulated state.
+// Within a shard exactly one actor — the driver or one proc — executes at
+// any instant. Scheduling uses direct switching: whichever goroutine
+// currently holds the shard's execution token drives the event loop, and
+// when the next event is another proc's wake the token moves
+// goroutine-to-goroutine in a single channel handoff (when it is the
+// driver's own wake, no handoff at all). The Run caller gets the token back
+// when the run is over.
 package sim
 
 import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 )
 
 // Time is a simulated time in core clock cycles.
@@ -29,26 +33,49 @@ type Time = uint64
 // MaxTime is the largest representable simulated time.
 const MaxTime Time = math.MaxUint64
 
+// SysDomain is the domain id of the shared system side (directory, L2,
+// memory). It orders after every core domain at the same cycle, so a
+// same-cycle (deliver-to-core, commit-at-directory) pair always delivers
+// first.
+const SysDomain = ^uint32(0)
+
+// noDomain marks "no event executing" (engine idle / between events).
+const noDomain = SysDomain - 1
+
 // event is a scheduled callback (p == nil) or a proc wake (p != nil; fn is
 // unused). Wakes are distinguished so the driver can hand the execution
 // token directly to the target proc instead of calling into it.
 type event struct {
 	at  Time
-	seq uint64 // tie-breaker: FIFO among events at the same cycle
+	seq uint64 // per-source-domain sequence: FIFO among same-key ties
+	dom uint32 // target domain
+	src uint32 // scheduling (source) domain
 	fn  func()
 	p   *Proc
 }
 
-// before is the global event order: (cycle, sequence).
+// before is the canonical event order: (cycle, target domain, source
+// domain, per-source sequence). Every component is derived from simulation
+// structure, never from global scheduling order, which is what makes the
+// order identical at any shard count.
 func (a *event) before(b *event) bool {
-	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.dom != b.dom {
+		return a.dom < b.dom
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.seq < b.seq
 }
 
-// eventHeap is an inlined 4-ary min-heap of events ordered by (at, seq).
-// Compared to container/heap it avoids the interface{} boxing allocation on
-// every push and the indirect Less/Swap calls on every sift; the wider
-// fan-out halves the tree depth, trading cheap sibling compares (same cache
-// line) for expensive level hops.
+// eventHeap is an inlined 4-ary min-heap of events. Compared to
+// container/heap it avoids the interface{} boxing allocation on every push
+// and the indirect Less/Swap calls on every sift; the wider fan-out halves
+// the tree depth, trading cheap sibling compares (same cache line) for
+// expensive level hops.
 type eventHeap []event
 
 func (h *eventHeap) push(ev event) {
@@ -102,10 +129,12 @@ func (h *eventHeap) pop() event {
 }
 
 // eventRing is a growable power-of-two ring buffer holding the same-cycle
-// FIFO: events scheduled for the current cycle (After(0, ...) — the
-// dominant case in coherence message hops and proc wakes) bypass the heap
-// and run in plain insertion order, which by construction is their
-// sequence order.
+// same-domain FIFO: events a domain schedules for itself at the current
+// cycle (After(0, ...) — the dominant case in coherence message hops and
+// proc wakes) bypass the heap and run in plain insertion order, which by
+// construction is their sequence order. All buffered events share one
+// (cycle, domain), so the ring is totally ordered and the dispatcher only
+// has to compare its head against the heap top.
 type eventRing struct {
 	buf  []event // len(buf) is always a power of two (or zero)
 	head int
@@ -143,99 +172,160 @@ func max2(a, b int) int {
 	return b
 }
 
-// Engine is a sequential discrete-event simulator.
+// Domain is a scheduling context owned by one simulated actor. Each core is
+// its own domain (id = proc id); the shared system side is SysDomain. A
+// domain carries its own sequence counter, so the canonical event key never
+// depends on which shard (or how many shards) executed the scheduling code.
 //
-// The zero value is not usable; construct with NewEngine.
+// A domain's At/After may only be called from that domain's own execution
+// context (or while the engine is idle); CrossAt schedules onto another
+// domain and, under sharding, is subject to the lookahead bound.
+type Domain struct {
+	eng *Engine
+	sh  *shard
+	id  uint32
+	seq uint64
+}
+
+// ID returns the domain id.
+func (d *Domain) ID() uint32 { return d.id }
+
+// Now returns the current simulated time as observed by this domain. Under
+// sharding this is the owning shard's clock, which is only meaningful from
+// the domain's own execution context.
+func (d *Domain) Now() Time { return d.sh.now }
+
+// At schedules fn to run on this domain at absolute time t.
+func (d *Domain) At(t Time, fn func()) { d.sh.push(d, d, t, fn, nil) }
+
+// After schedules fn to run on this domain dt cycles from the domain's now.
+func (d *Domain) After(dt Time, fn func()) { d.At(d.sh.now+dt, fn) }
+
+// CrossAt schedules fn to run on domain dst at absolute time t. The
+// receiver is the calling (source) domain; its clock and sequence counter
+// key the event. Under sharding a cross-shard event must land at or beyond
+// the current window horizon (guaranteed by construction when every
+// cross-domain message has latency ≥ the configured lookahead).
+func (d *Domain) CrossAt(dst *Domain, t Time, fn func()) { d.sh.push(dst, d, t, fn, nil) }
+
+// CrossAfter schedules fn on dst dt cycles from the source domain's now.
+func (d *Domain) CrossAfter(dst *Domain, dt Time, fn func()) { d.CrossAt(dst, d.sh.now+dt, fn) }
+
+// Engine is a deterministic discrete-event simulator. The zero value is not
+// usable; construct with NewEngine. By default the engine is sequential
+// (one shard); ConfigureSharding enables the windowed parallel executor.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap // future events, ordered by (at, seq)
-	fifo   eventRing // events at the current cycle, in insertion order
-	procs  []*Proc
+	shards  []*shard
+	domains map[uint32]*Domain
+	sys     *Domain
+	procs   []*Proc
 
 	// Stop condition: Run returns once now >= stopAt (events at later
 	// times stay queued).
 	stopAt Time
 
-	// home returns the execution token to the Run caller once a driver
-	// hits a stop condition; runErr carries that driver's verdict.
-	home   chan struct{}
+	// idleNow is the global time reported while no run is active and the
+	// engine has more than one shard (with one shard the shard clock is
+	// authoritative).
+	idleNow Time
+
 	runErr error
-
-	// fatal holds a proc goroutine's wrapped panic until the Run caller
-	// can re-raise it (see Proc and PanicError); curSeq is the sequence
-	// number of the event currently executing.
 	fatal  *PanicError
-	curSeq uint64
 
-	// EventCount is the total number of events executed so far. A proc
-	// Sync that fast-forwards time (nothing else was due first) consumes
-	// no event and is not counted.
+	// Sharding configuration (see ConfigureSharding); applied lazily at
+	// the first Run.
+	wantShards  int
+	lookahead   Time
+	domShard    func(uint32) int
+	partitioned bool
+
+	// EventCount is the total number of events executed so far, across all
+	// shards; refreshed when Run returns. A proc Sync that fast-forwards
+	// time (nothing else was due first) consumes no event and is not
+	// counted.
 	EventCount uint64
 
 	// StallLimit is the no-progress watchdog: the maximum number of
-	// events the engine will execute at a single cycle before declaring a
+	// events a shard will execute at a single cycle before declaring a
 	// livelock (a zero-delay event loop never advances time, so a plain
 	// deadlock check would spin forever). Legal simulations execute at
 	// most a few events per core per cycle; the default is orders of
 	// magnitude above that.
 	StallLimit uint64
-
-	stallEvents uint64 // events executed at the current cycle
 }
 
 // DefaultStallLimit is the default per-cycle event watchdog threshold.
 const DefaultStallLimit = 1 << 20
 
-// NewEngine returns an empty engine at time 0.
+// NewEngine returns an empty sequential engine at time 0.
 func NewEngine() *Engine {
-	return &Engine{stopAt: MaxTime, StallLimit: DefaultStallLimit,
-		home: make(chan struct{})}
+	e := &Engine{stopAt: MaxTime, StallLimit: DefaultStallLimit,
+		domains: make(map[uint32]*Domain)}
+	e.shards = []*shard{newShard(e, 0)}
+	e.sys = e.Domain(SysDomain)
+	return e
 }
 
-// Now returns the current simulated time.
-func (e *Engine) Now() Time { return e.now }
-
-// At schedules fn to run at absolute time t. Scheduling in the past is an
-// error in the simulation logic and panics.
-//
-// Same-cycle events (t == Now()) go to the FIFO ring; future events go to
-// the heap. The two never disagree about order: every heap event at cycle
-// T was scheduled before the simulation reached T, so it carries a smaller
-// sequence number than any event the FIFO holds while the engine executes
-// cycle T, and the dispatch loop drains heap events at the current cycle
-// before FIFO ones.
-func (e *Engine) At(t Time, fn func()) {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %d in the past (now %d)", t, e.now))
+// Domain returns the handle for domain id, creating it on first use. New
+// domains live on shard 0 until ConfigureSharding's mapping is applied.
+func (e *Engine) Domain(id uint32) *Domain {
+	if d, ok := e.domains[id]; ok {
+		return d
 	}
-	e.seq++
-	ev := event{at: t, seq: e.seq, fn: fn}
-	if t == e.now {
-		e.fifo.push(ev)
-	} else {
-		e.events.push(ev)
-	}
+	d := &Domain{eng: e, sh: e.shards[0], id: id}
+	e.domains[id] = d
+	return d
 }
 
-// atProc schedules a wake for p at time t (same ordering rules as At, but
-// the event carries the proc instead of a callback, so waking allocates
-// nothing and the driver hands the token over directly).
-func (e *Engine) atProc(t Time, p *Proc) {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling wake at %d in the past (now %d)", t, e.now))
+// Sys returns the system domain handle (directory, L2, memory).
+func (e *Engine) Sys() *Domain { return e.sys }
+
+// ConfigureSharding requests the windowed parallel executor: n shards, a
+// conservative lookahead (the minimum latency of any cross-domain message —
+// every CrossAt across shards must land at least lookahead cycles after the
+// window start), and a domain→shard mapping. It must be called before the
+// first Run; n <= 1 keeps the sequential executor. The mapping is applied
+// lazily when Run first executes, so it may be called at any point during
+// setup.
+func (e *Engine) ConfigureSharding(n int, lookahead Time, domShard func(uint32) int) {
+	if e.partitioned {
+		panic("sim: ConfigureSharding after Run")
 	}
-	e.seq++
-	ev := event{at: t, seq: e.seq, p: p}
-	if t == e.now {
-		e.fifo.push(ev)
-	} else {
-		e.events.push(ev)
+	if n < 1 {
+		n = 1
 	}
+	if n > 1 && lookahead == 0 {
+		panic("sim: sharding requires a nonzero lookahead")
+	}
+	e.wantShards, e.lookahead, e.domShard = n, lookahead, domShard
 }
 
-// After schedules fn to run dt cycles from now.
-func (e *Engine) After(dt Time, fn func()) { e.At(e.now+dt, fn) }
+// Shards returns the effective shard count.
+func (e *Engine) Shards() int {
+	if !e.partitioned && e.wantShards > 1 {
+		return e.wantShards
+	}
+	return len(e.shards)
+}
+
+// Now returns the current simulated time. With multiple shards this is only
+// meaningful while the engine is idle (between Runs); during execution each
+// domain observes time through its own handle.
+func (e *Engine) Now() Time {
+	if len(e.shards) == 1 {
+		return e.shards[0].now
+	}
+	return e.idleNow
+}
+
+// At schedules fn to run on the system domain at absolute time t.
+// Scheduling in the past is an error in the simulation logic and panics.
+func (e *Engine) At(t Time, fn func()) { e.shards[0].push(e.sys, e.sys, t, fn, nil) }
+
+// After schedules fn to run on the system domain dt cycles from now. Like
+// At, it is the single-shard (or idle-engine) convenience surface; sharded
+// simulations schedule through Domain handles.
+func (e *Engine) After(dt Time, fn func()) { e.At(e.shards[0].now+dt, fn) }
 
 // DeadlockError reports that no event is pending while procs are still
 // blocked waiting to be woken.
@@ -249,7 +339,7 @@ func (d *DeadlockError) Error() string {
 		d.Time, strings.Join(d.Blocked, "\n  "))
 }
 
-// StallError reports a livelock: the engine executed StallLimit events
+// StallError reports a livelock: a shard executed StallLimit events
 // without simulated time advancing (e.g. a zero-delay event loop).
 type StallError struct {
 	Time   Time
@@ -261,120 +351,277 @@ func (s *StallError) Error() string {
 		s.Events, s.Time)
 }
 
-// next pops the next due event, advancing time and the watchdog counters.
-// Only the current token holder may call it. ok == false means the run is
-// over and e.runErr holds the verdict: nil (stop time reached or queue
-// drained cleanly), a *DeadlockError, or a *StallError.
-func (e *Engine) next() (event, bool) {
-	var ev event
-	if e.fifo.n > 0 {
-		// Same-cycle work pending. Heap events at this cycle were
-		// scheduled earlier (smaller seq) and run first.
-		if e.now >= e.stopAt {
-			e.runErr = nil // keep them queued for a later Run
-			return event{}, false
-		}
-		if len(e.events) > 0 && e.events[0].at == e.now {
-			ev = e.events.pop()
+// shard is one partition of the simulation: a set of domains, their event
+// queues, and an execution token. With one shard the Run caller drives it
+// directly; with several, each shard has a worker goroutine and executes
+// lookahead-bounded windows between barriers (shard.go).
+type shard struct {
+	eng *Engine
+	idx int
+
+	now    Time
+	events eventHeap // future (and cross-domain same-cycle) events
+	fifo   eventRing // same-cycle same-domain events, in insertion order
+	curDom uint32    // domain of the event currently executing
+
+	// windowEnd is the exclusive execution horizon for the current window
+	// (MaxTime when sequential); stopAt caches the engine stop time.
+	windowEnd Time
+	stopAt    Time
+
+	// home returns the shard's execution token to its driver (the Run
+	// caller, or the shard worker) once a stop condition is hit.
+	home chan struct{}
+
+	// verdict holds a stall error detected by this shard's watchdog;
+	// fatal holds a wrapped panic from one of its procs or events.
+	verdict error
+	fatal   *PanicError
+
+	curSeq      uint64 // sequence of the event currently executing
+	eventCount  uint64
+	stallEvents uint64 // events executed at the current cycle
+
+	// inbox receives cross-shard events; appended under inmu by source
+	// shards mid-window, drained into the heap by the coordinator at
+	// window barriers.
+	inmu  sync.Mutex
+	inbox []event
+}
+
+func newShard(e *Engine, idx int) *shard {
+	return &shard{eng: e, idx: idx, curDom: noDomain,
+		windowEnd: MaxTime, stopAt: MaxTime, home: make(chan struct{})}
+}
+
+// push schedules an event from source domain src onto destination domain
+// dst. It must run on src's shard (the caller's execution context) or on an
+// idle engine.
+func (s *shard) push(dst, src *Domain, t Time, fn func(), p *Proc) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d in the past (now %d)", t, s.now))
+	}
+	src.seq++
+	ev := event{at: t, seq: src.seq, dom: dst.id, src: src.id, fn: fn, p: p}
+	ts := dst.sh
+	if ts == s {
+		// The ring only buffers a domain's same-cycle self-schedules, and
+		// only while the ring is homogeneous (one cycle, one domain), so
+		// its entries are totally ordered by construction.
+		if t == s.now && ev.dom == s.curDom && ev.src == s.curDom &&
+			(s.fifo.n == 0 || s.fifo.buf[s.fifo.head].dom == ev.dom) {
+			s.fifo.push(ev)
 		} else {
-			ev = e.fifo.pop()
+			s.events.push(ev)
 		}
-	} else if len(e.events) > 0 {
-		if e.events[0].at >= e.stopAt {
-			if e.stopAt > e.now {
-				e.now = e.stopAt
+		return
+	}
+	// Cross-shard: conservative lookahead guarantees delivery beyond the
+	// current window, so the target shard never misses it.
+	if t < s.windowEnd {
+		panic(fmt.Sprintf("sim: lookahead violation: cross-shard event at cycle %d inside window ending %d", t, s.windowEnd))
+	}
+	ts.inmu.Lock()
+	ts.inbox = append(ts.inbox, ev)
+	ts.inmu.Unlock()
+}
+
+// bound returns the shard's current execution horizon.
+func (s *shard) bound() Time {
+	if s.windowEnd < s.stopAt {
+		return s.windowEnd
+	}
+	return s.stopAt
+}
+
+// next pops the next due event, advancing time and the watchdog counters.
+// Only the current token holder may call it. ok == false means this shard
+// is done for now: the horizon was reached, the queue drained, or the
+// watchdog fired (s.verdict). The driver decides what that means.
+func (s *shard) next() (event, bool) {
+	var ev event
+	bound := s.bound()
+	if s.fifo.n > 0 {
+		// Same-cycle work pending (s.now < bound by construction: the
+		// ring only fills at the executing cycle). Heap events can still
+		// order first — compare keys.
+		if s.now >= bound {
+			return event{}, false // keep them queued for a later Run
+		}
+		if len(s.events) > 0 && s.events[0].at == s.now && s.events[0].before(&s.fifo.buf[s.fifo.head]) {
+			ev = s.events.pop()
+		} else {
+			ev = s.fifo.pop()
+		}
+	} else if len(s.events) > 0 {
+		if s.events[0].at >= bound {
+			if bound > s.now {
+				s.now = bound
+				s.stallEvents = 0
 			}
-			e.runErr = nil
 			return event{}, false
 		}
-		ev = e.events.pop()
-		if ev.at > e.now {
-			e.stallEvents = 0
-			e.now = ev.at
+		ev = s.events.pop()
+		if ev.at > s.now {
+			s.stallEvents = 0
+			s.now = ev.at
 		}
 	} else {
-		if blocked := e.Blocked(); len(blocked) > 0 {
-			e.runErr = &DeadlockError{Time: e.now, Blocked: blocked}
-		} else {
-			e.runErr = nil
-		}
+		// Queue drained: leave the clock at the last executed event (the
+		// sequential semantics; windowed shards converge at barriers).
 		return event{}, false
 	}
-	e.EventCount++
-	e.stallEvents++
-	if e.StallLimit > 0 && e.stallEvents > e.StallLimit {
-		e.runErr = &StallError{Time: e.now, Events: e.stallEvents}
+	s.curDom = ev.dom
+	s.eventCount++
+	s.stallEvents++
+	if limit := s.eng.StallLimit; limit > 0 && s.stallEvents > limit {
+		s.verdict = &StallError{Time: s.now, Events: s.stallEvents}
 		return event{}, false
 	}
 	return ev, true
 }
 
-// Run executes events in order until either the event queue drains or
-// simulated time reaches until. It returns a *DeadlockError if the queue
-// drains while some procs remain blocked (a genuine simulated deadlock),
-// a *StallError if the StallLimit watchdog detects a livelock, and nil
-// otherwise.
+// empty reports whether the shard has no queued work at all (inbox
+// included; callers must be at a barrier or idle).
+func (s *shard) empty() bool {
+	return len(s.events) == 0 && s.fifo.n == 0 && len(s.inbox) == 0
+}
+
+// Run executes events in canonical order until either every event queue
+// drains or simulated time reaches until. It returns a *DeadlockError if
+// the queues drain while some procs remain blocked (a genuine simulated
+// deadlock), a *StallError if the StallLimit watchdog detects a livelock,
+// and nil otherwise.
 //
 // Run drives the event loop on the calling goroutine until the first proc
 // wake, hands the execution token to that proc, and waits for the token to
 // come home; from then on the loop runs on whichever proc goroutine holds
-// the token (see Engine.drive). Any panic escaping simulation code — an
+// the token (see shard.drive). Any panic escaping simulation code — an
 // event callback or a proc goroutine — is re-raised out of Run on the
 // caller's goroutine as a *PanicError carrying the simulated cycle, event
 // sequence number, and proc id, so a harness can recover it with full sim
 // context.
+//
+// With sharding configured, Run instead executes lookahead-bounded windows
+// on per-shard workers (see shard.go); the observable results are
+// bit-identical to the sequential executor by construction of the event
+// key.
 func (e *Engine) Run(until Time) error {
+	e.partition()
+	if len(e.shards) > 1 {
+		return e.runWindows(until)
+	}
+	s := e.shards[0]
+	s.stopAt = until
 	e.stopAt = until
-	e.runErr = nil
+	s.verdict = nil
 	for {
-		ev, ok := e.next()
+		ev, ok := s.next()
 		if !ok {
 			break
 		}
 		if ev.p == nil {
-			e.exec(ev)
+			s.exec(ev)
 			continue
 		}
 		q := ev.p
 		if q.state == procDone {
 			continue // stale wake for a finished proc
 		}
-		e.curSeq = ev.seq
+		s.curSeq = ev.seq
 		q.state = procRunning
 		q.resume <- ev.at // hand the token to q ...
-		<-e.home          // ... and wait for the run to end
+		<-s.home          // ... and wait for the run to end
 		break
 	}
-	if e.fatal != nil {
-		pe := e.fatal
-		e.fatal = nil
+	e.EventCount = s.eventCount
+	if s.fatal != nil {
+		pe := s.fatal
+		s.fatal = nil
 		panic(pe)
 	}
-	return e.runErr
+	return e.finishVerdict(s)
+}
+
+// finishVerdict turns a stopped shard's state into Run's return value for
+// the sequential executor.
+func (e *Engine) finishVerdict(s *shard) error {
+	if s.verdict != nil {
+		v := s.verdict
+		s.verdict = nil
+		return v
+	}
+	if s.empty() {
+		if blocked := e.Blocked(); len(blocked) > 0 {
+			return &DeadlockError{Time: s.now, Blocked: blocked}
+		}
+	}
+	return nil
+}
+
+// partition applies the sharding configuration on first Run: create the
+// worker shards, move every domain (and its queued events) to its mapped
+// shard.
+func (e *Engine) partition() {
+	if e.partitioned {
+		return
+	}
+	e.partitioned = true
+	if e.wantShards <= 1 {
+		return
+	}
+	s0 := e.shards[0]
+	for i := 1; i < e.wantShards; i++ {
+		sh := newShard(e, i)
+		sh.now = s0.now
+		e.shards = append(e.shards, sh)
+	}
+	for _, d := range e.domains {
+		idx := 0
+		if e.domShard != nil {
+			idx = e.domShard(d.id)
+		}
+		if idx < 0 || idx >= len(e.shards) {
+			panic(fmt.Sprintf("sim: domain %d mapped to invalid shard %d", d.id, idx))
+		}
+		d.sh = e.shards[idx]
+	}
+	// Redistribute setup-time events (the ring is empty while idle; all
+	// queued work sits in shard 0's heap).
+	pending := s0.events
+	s0.events = nil
+	for len(pending) > 0 {
+		ev := pending.pop()
+		d, ok := e.domains[ev.dom]
+		if !ok {
+			panic(fmt.Sprintf("sim: queued event for unknown domain %d", ev.dom))
+		}
+		d.sh.events.push(ev)
+	}
 }
 
 // drive runs the event loop on a parked proc's goroutine (the token
 // holder) until the proc's own wake pops, returning the wake time. Another
 // proc's wake hands the token to that proc in a single channel send — the
-// Run caller is not involved — after which self waits to be resumed the
-// same way. A stop condition sends the token home (Run returns) and leaves
-// self parked for a later Run.
-func (e *Engine) drive(self *Proc) Time {
+// driver is not involved — after which self waits to be resumed the same
+// way. A stop condition sends the token home and leaves self parked for a
+// later window or Run.
+func (s *shard) drive(self *Proc) Time {
 	for {
-		ev, ok := e.next()
+		ev, ok := s.next()
 		if !ok {
-			e.sendHome()
+			s.sendHome()
 			return <-self.resume
 		}
 		if ev.p == nil {
-			e.exec(ev)
+			s.exec(ev)
 			continue
 		}
 		q := ev.p
 		if q.state == procDone {
 			continue
 		}
-		e.curSeq = ev.seq
+		s.curSeq = ev.seq
 		if q == self {
 			return ev.at // own wake: keep the token, no handoff at all
 		}
@@ -389,57 +636,57 @@ func (e *Engine) drive(self *Proc) Time {
 // can move to another proc or go home. An event panic here has no user
 // stack to unwind through, so it is captured like a proc panic and
 // re-raised by Run.
-func (e *Engine) driveDetached() {
+func (s *shard) driveDetached() {
 	defer func() {
 		if r := recover(); r != nil {
 			pe, ok := r.(*PanicError)
 			if !ok {
-				pe = &PanicError{Cycle: e.now, EventSeq: e.curSeq, ProcID: -1,
+				pe = &PanicError{Cycle: s.now, EventSeq: s.curSeq, ProcID: -1,
 					Value: r, Stack: stack()}
 			}
-			e.fatal = pe
-			e.sendHome()
+			s.fatal = pe
+			s.sendHome()
 		}
 	}()
 	for {
-		ev, ok := e.next()
+		ev, ok := s.next()
 		if !ok {
-			e.sendHome()
+			s.sendHome()
 			return
 		}
 		if ev.p == nil {
-			e.exec(ev)
+			s.exec(ev)
 			continue
 		}
 		q := ev.p
 		if q.state == procDone {
 			continue
 		}
-		e.curSeq = ev.seq
+		s.curSeq = ev.seq
 		q.state = procRunning
 		q.resume <- ev.at
 		return
 	}
 }
 
-// sendHome returns the execution token to the Run caller. The caller is
-// always waiting: the token only ever leaves Run's goroutine via its own
+// sendHome returns the execution token to the shard's driver. The driver
+// is always waiting: the token only ever leaves its goroutine via its own
 // handoff, after which it blocks on home.
-func (e *Engine) sendHome() { e.home <- struct{}{} }
+func (s *shard) sendHome() { s.home <- struct{}{} }
 
 // exec runs one event, wrapping any escaping panic in a *PanicError so it
 // reaches Run's caller with sim context attached.
-func (e *Engine) exec(ev event) {
+func (s *shard) exec(ev event) {
 	defer func() {
 		if r := recover(); r != nil {
 			if pe, ok := r.(*PanicError); ok {
 				panic(pe) // already wrapped (proc-side or nested event)
 			}
-			panic(&PanicError{Cycle: e.now, EventSeq: ev.seq, ProcID: -1,
+			panic(&PanicError{Cycle: s.now, EventSeq: ev.seq, ProcID: -1,
 				Value: r, Stack: stack()})
 		}
 	}()
-	e.curSeq = ev.seq
+	s.curSeq = ev.seq
 	ev.fn()
 }
 
@@ -447,7 +694,13 @@ func (e *Engine) exec(ev event) {
 func (e *Engine) Drain() error { return e.Run(MaxTime) }
 
 // Pending returns the number of queued (not yet executed) events.
-func (e *Engine) Pending() int { return len(e.events) + e.fifo.n }
+func (e *Engine) Pending() int {
+	n := 0
+	for _, s := range e.shards {
+		n += len(s.events) + s.fifo.n + len(s.inbox)
+	}
+	return n
+}
 
 // Blocked describes every currently blocked proc (diagnostics; the same
 // strings a DeadlockError would carry).

@@ -6,24 +6,27 @@ type procState int
 
 const (
 	procCreated procState = iota
-	procRunning           // currently executing (all other actors are parked)
+	procRunning           // currently executing (all other actors on its shard are parked)
 	procBlocked           // waiting for an external wake (coherence reply, ...)
 	procDone
 )
 
 // Proc is a simulated hardware context (one in-order core running one
-// thread). Proc code runs on its own goroutine, but exactly one actor —
-// the Run caller or one proc — executes at any instant: a single
-// "execution token" moves between them (see Engine.drive), so all engine
-// and simulated state is accessed race-free without locks.
+// thread). Proc code runs on its own goroutine, but exactly one actor per
+// shard — the shard's driver or one of its procs — executes at any
+// instant: a single "execution token" moves between them (see shard.drive),
+// so all engine and simulated state owned by the shard is accessed
+// race-free without locks. Each proc is its own scheduling domain
+// (id = proc id), which under sharding pins it to one shard.
 //
 // A proc keeps a local clock that it advances as it "executes". Before any
 // action that can touch shared simulated state it must call Sync, which
-// parks the proc until global simulated time has caught up with its local
-// clock. This is what makes the whole simulation deterministic.
+// parks the proc until simulated time has caught up with its local clock.
+// This is what makes the whole simulation deterministic.
 type Proc struct {
 	ID  int
 	eng *Engine
+	dom *Domain
 
 	clock Time
 	state procState
@@ -46,8 +49,9 @@ type Proc struct {
 
 // scheduleWake schedules the proc's (single) pending wake at time t. A
 // proc is parked from when its wake is scheduled until it fires, so there
-// is never more than one outstanding wake per proc.
-func (p *Proc) scheduleWake(t Time) { p.eng.atProc(t, p) }
+// is never more than one outstanding wake per proc. Wakes are same-domain
+// events keyed by the proc's own sequence counter.
+func (p *Proc) scheduleWake(t Time) { p.dom.sh.push(p.dom, p.dom, t, nil, p) }
 
 // killToken unwinds a killed proc's goroutine through a panic that the
 // Spawn wrapper recovers.
@@ -55,11 +59,12 @@ type killToken struct{}
 
 // Spawn creates a proc running fn, starting at time start. fn runs to
 // completion on its own goroutine, interleaved deterministically with other
-// procs by the engine.
+// procs by the engine. The proc's scheduling domain is uint32(id).
 func (e *Engine) Spawn(id int, start Time, seed uint64, fn func(*Proc)) *Proc {
 	p := &Proc{
 		ID:     id,
 		eng:    e,
+		dom:    e.Domain(uint32(id)),
 		resume: make(chan Time),
 		yield:  make(chan struct{}),
 		rng:    NewRNG(seed),
@@ -67,6 +72,7 @@ func (e *Engine) Spawn(id int, start Time, seed uint64, fn func(*Proc)) *Proc {
 	e.procs = append(e.procs, p)
 	go func() {
 		defer func() {
+			s := p.dom.sh
 			if r := recover(); r != nil {
 				if _, ok := r.(killToken); !ok {
 					// A panic here is on the proc goroutine, where no
@@ -75,11 +81,11 @@ func (e *Engine) Spawn(id int, start Time, seed uint64, fn func(*Proc)) *Proc {
 					// on its own goroutine (see Engine.Run).
 					pe, ok := r.(*PanicError)
 					if !ok {
-						pe = &PanicError{ProcID: p.ID, Cycle: e.now,
-							LocalClk: p.clock, EventSeq: e.curSeq,
+						pe = &PanicError{ProcID: p.ID, Cycle: s.now,
+							LocalClk: p.clock, EventSeq: s.curSeq,
 							Value: r, Stack: stack()}
 					}
-					e.fatal = pe
+					s.fatal = pe
 				}
 			}
 			p.state = procDone
@@ -87,15 +93,16 @@ func (e *Engine) Spawn(id int, start Time, seed uint64, fn func(*Proc)) *Proc {
 				p.yield <- struct{}{} // hand control back to Kill
 				return
 			}
-			if e.fatal != nil {
-				// Abort the run: send the token home; Run re-raises.
-				e.sendHome()
+			if s.fatal != nil {
+				// Abort the run: send the token home; the driver
+				// re-raises.
+				s.sendHome()
 				return
 			}
-			// Normal completion: this goroutine still holds the execution
-			// token, so it keeps driving the simulation until the token
-			// can move to another actor, then exits.
-			e.driveDetached()
+			// Normal completion: this goroutine still holds the shard's
+			// execution token, so it keeps driving the simulation until
+			// the token can move to another actor, then exits.
+			s.driveDetached()
 		}()
 		t := <-p.resume
 		p.clock = t
@@ -122,8 +129,8 @@ func (p *Proc) park(reason string) Time {
 	}
 	p.state = procBlocked
 	p.blockReason = reason
-	p.blockSince = p.eng.now
-	t := p.eng.drive(p)
+	p.blockSince = p.dom.sh.now
+	t := p.dom.sh.drive(p)
 	if p.killed {
 		panic(killToken{})
 	}
@@ -152,33 +159,35 @@ func (e *Engine) KillAll() {
 	}
 }
 
-// Sync parks the proc until global time reaches its local clock. After
-// Sync returns, eng.Now() == p.Clock() and the proc may safely perform an
-// action on shared simulated state timestamped at its local clock.
+// Sync parks the proc until simulated time reaches its local clock. After
+// Sync returns, the proc's domain clock equals p.Clock() and the proc may
+// safely perform an action on shared simulated state timestamped at its
+// local clock.
 //
-// Fast path: when nothing else is scheduled before the proc's local
-// clock, parking would only make the proc's own wake the next event
-// executed, so the proc advances global time itself and keeps running —
-// no event, no handoff. This is safe (the proc holds the execution token,
-// so it has exclusive access to engine state) and exactly
-// order-preserving: the wake it skips would have been the next event.
+// Fast path: when nothing else is scheduled on the shard before the proc's
+// local clock (and the clock is inside the current execution horizon),
+// parking would only make the proc's own wake the next event executed, so
+// the proc advances the shard clock itself and keeps running — no event,
+// no handoff. This is safe (the proc holds the shard's execution token, so
+// it has exclusive access to shard state) and exactly order-preserving:
+// the wake it skips would have been the next event.
 func (p *Proc) Sync() {
-	e := p.eng
+	s := p.dom.sh
 	if p.killed {
 		return // unwinding defers must not schedule wakes or move time
 	}
-	if p.clock < e.now {
-		// The proc fell behind global time (it was woken by an event
+	if p.clock < s.now {
+		// The proc fell behind shard time (it was woken by an event
 		// that completed later than its local clock): jump forward.
-		p.clock = e.now
+		p.clock = s.now
 		return
 	}
-	if p.clock == e.now {
+	if p.clock == s.now {
 		return
 	}
-	if e.fifo.n == 0 && (len(e.events) == 0 || e.events[0].at > p.clock) && p.clock < e.stopAt {
-		e.now = p.clock
-		e.stallEvents = 0
+	if s.fifo.n == 0 && (len(s.events) == 0 || s.events[0].at > p.clock) && p.clock < s.bound() {
+		s.now = p.clock
+		s.stallEvents = 0
 		return
 	}
 	p.scheduleWake(p.clock)
@@ -194,8 +203,12 @@ func (p *Proc) Block(reason string) Time {
 }
 
 // WakeAt schedules p (which must be blocked via Block) to resume at time t.
-// It must be called from engine context, i.e. inside an event callback.
+// It must be called from event context on p's own domain (e.g. the
+// completion delivery that unblocks it).
 func (p *Proc) WakeAt(t Time) { p.scheduleWake(t) }
+
+// Domain returns the proc's scheduling domain handle.
+func (p *Proc) Domain() *Domain { return p.dom }
 
 // Clock returns the proc's local time.
 func (p *Proc) Clock() Time { return p.clock }
