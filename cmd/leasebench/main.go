@@ -44,9 +44,14 @@
 // procs are partitioned across host threads and synchronized at
 // network-lookahead window boundaries, so a single large cell speeds up
 // too. The two axes compose — workers across cells, shards within a
-// cell. Output stays byte-identical at any -shards value; cells outside
-// the parallel certificate (telemetry-enabled measurements, Tardis,
-// fault injection) silently run the sequential kernel.
+// cell. Output stays byte-identical at any -shards value. Telemetry-
+// enabled measurements shard as well (the bus buffers per shard and
+// merges at window barriers, DESIGN.md §15); cells outside the parallel
+// certificate (Tardis, fault injection, synchronous subscribers like the
+// invariant checker) silently run the sequential kernel. A sharded run's
+// -perfjson additionally carries a "shard_stats" sample: the engine's
+// self-observability counters (windows, barrier stalls, per-shard
+// utilization) from the last sharded cell.
 //
 // -perfjson records per-experiment wall-clock times (the tracked host-
 // performance trajectory; see EXPERIMENTS.md §Host performance), and
@@ -72,6 +77,7 @@ import (
 	"leaserelease/internal/bench"
 	"leaserelease/internal/coherence"
 	"leaserelease/internal/machine"
+	"leaserelease/internal/sim"
 )
 
 // ExpPerf is one experiment's recorded host wall-clock.
@@ -109,6 +115,11 @@ type PerfReport struct {
 	WindowCycles     uint64    `json:"window_cycles"`
 	Experiments      []ExpPerf `json:"experiments"`
 	TotalWallSeconds float64   `json:"total_wall_seconds"`
+	// ShardStats is an engine self-observability sample from the last
+	// cell that executed on the parallel kernel (omitted when every cell
+	// ran sequentially): windows executed, barrier stall cycles,
+	// cross-shard traffic, and per-shard utilization/imbalance.
+	ShardStats *sim.EngineStats `json:"shard_stats,omitempty"`
 	// BaselineFile/TotalSpeedupVsBase are filled when -perfbase was given.
 	BaselineFile       string  `json:"baseline_file,omitempty"`
 	TotalSpeedupVsBase float64 `json:"total_speedup_vs_base,omitempty"`
@@ -275,6 +286,7 @@ func main() {
 	// before the process ends (os.Exit skips deferred calls).
 	exit := func(code int) {
 		p.Pool.Close()
+		perf.ShardStats = bench.ShardSample()
 		writePerf(*perfjson, *perfbase, perf)
 		stopProfiles()
 		os.Exit(code)

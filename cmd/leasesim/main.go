@@ -24,11 +24,16 @@
 // procs are partitioned across host threads and synchronized at network-
 // lookahead window boundaries. The axes compose — workers across cells,
 // shards within a cell — and output stays byte-identical at any -shards
-// value; cells outside the parallel certificate (telemetry-enabled runs,
-// Tardis, fault injection) silently use the sequential kernel. Note every
-// leasesim run records telemetry, so -shards only engages the parallel
-// executor for plain cells in other frontends (leasebench sweep cells);
-// here it mainly exercises the certification path.
+// value. Telemetry-enabled cells shard too: the bus buffers emissions per
+// shard and the window coordinator merges them in canonical event order at
+// every barrier (DESIGN.md §15), so histograms, spans, ledgers, and
+// timelines are byte-identical at any shard count. Cells outside the
+// parallel certificate — Tardis, fault injection, -invariants (whose
+// checker must observe events synchronously) — silently use the sequential
+// kernel; -json reports the reason in "shard_downgrade". A run that did
+// shard reports the engine's self-observability counters (windows,
+// barrier stalls, per-shard utilization) as "shard_stats" in -json, or as
+// a text table with -shardstats.
 // A failing cell (deadlock, panic, protocol/invariant violation) is
 // reported on stderr with a machine state dump, the rest of the sweep
 // still runs, and the exit status is 1; -strict instead stops emitting at
@@ -79,6 +84,7 @@ import (
 	"leaserelease/internal/faults"
 	"leaserelease/internal/machine"
 	"leaserelease/internal/multiqueue"
+	"leaserelease/internal/sim"
 	"leaserelease/internal/stm"
 	"leaserelease/internal/telemetry"
 )
@@ -124,6 +130,7 @@ func main() {
 		controller = flag.Bool("controller", false, "enable the adaptive lease-duration controller")
 		strict     = flag.Bool("strict", false, "abort the sweep at the first failed cell")
 		spans      = flag.Bool("spans", false, "trace coherence-transaction spans and report the cycle accounting")
+		shardstats = flag.Bool("shardstats", false, "print the parallel kernel's self-observability table (windows, barrier stalls, per-shard utilization)")
 		ledger     = flag.Bool("ledger", false, "account per-line lease efficiency (granted/used/wasted cycles, ops absorbed, deferral inflicted)")
 		compactB   = flag.Bool("compactbuckets", false, "with -json, emit histogram buckets as compact [lo,count] pairs")
 		serveAddr  = flag.String("serve", "", "serve live sweep introspection over HTTP on this address (e.g. :9090)")
@@ -161,14 +168,6 @@ func main() {
 
 	stopProfiles := startProfiles(*cpuprof, *memprof)
 	pool := bench.NewPool(*parallel)
-	if *shards > 1 {
-		// leasesim cells always attach a Recorder, which is outside the
-		// parallel certificate — the flag exists for interface parity and
-		// certification-path coverage, not wall-clock gains here.
-		fmt.Fprintf(os.Stderr,
-			"leasesim: note: runs are telemetry-enabled, so -shards %d uses the sequential kernel (output is byte-identical); use leasebench for sharded wall-clock gains\n",
-			*shards)
-	}
 	if pool.Workers() > runtime.NumCPU() {
 		fmt.Fprintf(os.Stderr,
 			"leasesim: warning: -parallel %d exceeds NumCPU=%d; host threads will timeshare and wall-clock gains flatten\n",
@@ -214,7 +213,8 @@ func main() {
 			preempt: *preempt, preemptMin: *preemptMin, preemptMax: *preemptMax,
 			preemptTargeted: *preemptTgt, controller: *controller,
 			spans: *spans, ledger: *ledger, compactBuckets: *compactB, shards: *shards,
-			progress: prog.Cell(fmt.Sprintf("%s/t%d", *dsName, n)),
+			shardstats: *shardstats,
+			progress:   prog.Cell(fmt.Sprintf("%s/t%d", *dsName, n)),
 		}
 		futures[i] = bench.Go(pool, func() cellResult {
 			var out, errOut bytes.Buffer
@@ -268,6 +268,7 @@ type cell struct {
 	spans               bool
 	ledger              bool
 	compactBuckets      bool
+	shardstats          bool
 	progress            *bench.CellProgress
 }
 
@@ -387,6 +388,10 @@ func runCell(c cell, out, errOut io.Writer) bool {
 	c.progress.Start()
 	defer c.progress.Done()
 	var hooks []func(*machine.Machine)
+	// Capture the machine so the report can record the sharding outcome
+	// (effective kernel, downgrade reason, engine self-observability).
+	var mach *machine.Machine
+	hooks = append(hooks, func(m *machine.Machine) { mach = m })
 	if c.trace > 0 {
 		left := c.trace
 		hooks = append(hooks, func(m *machine.Machine) {
@@ -402,6 +407,18 @@ func runCell(c cell, out, errOut io.Writer) bool {
 		bench.Options{Recorder: rec, Samples: c.samples, Hooks: hooks,
 			Invariants: c.invariants, Progress: c.progress})
 
+	// Sharding outcome: the downgrade reason when -shards was requested
+	// but the run used the sequential kernel, and the engine's
+	// self-observability snapshot when it actually sharded.
+	var shardDowngrade string
+	var shardStats *sim.EngineStats
+	if mach != nil && c.shards > 1 {
+		if _, reason := mach.EffectiveShards(); reason != "" {
+			shardDowngrade = reason
+		}
+		shardStats = mach.ShardStats()
+	}
+
 	if r.Err != nil {
 		fmt.Fprintf(errOut, "leasesim: ds=%s threads=%d seed=%d FAILED (%s): %s\n",
 			c.ds, c.threads, c.seed, r.Err.Reason, r.Err.Detail)
@@ -410,6 +427,8 @@ func runCell(c cell, out, errOut io.Writer) bool {
 		}
 		if c.jsonOut {
 			rep := bench.BuildReport(c.ds, c.threads, c.lease, cfg, c.warm, c.cycles, r, nil, 0)
+			rep.ShardDowngrade = shardDowngrade
+			rep.ShardStats = shardStats
 			enc := json.NewEncoder(out)
 			enc.SetIndent("", "  ")
 			enc.Encode(rep)
@@ -438,6 +457,8 @@ func runCell(c cell, out, errOut io.Writer) bool {
 		rep := bench.BuildReport(c.ds, c.threads, c.lease, cfg, c.warm, c.cycles, r, rec, c.hotlines)
 		rep.Aborts = aborts
 		rep.TimelineFile = c.timeline
+		rep.ShardDowngrade = shardDowngrade
+		rep.ShardStats = shardStats
 		if c.compactBuckets {
 			bench.CompactReportBuckets(&rep)
 		}
@@ -554,9 +575,42 @@ func runCell(c cell, out, errOut io.Writer) bool {
 		fmt.Fprintf(out, "\ntimeline written to %s (open in chrome://tracing or ui.perfetto.dev)\n", c.timeline)
 	}
 
+	if c.shardstats {
+		printShardStats(out, c.shards, shardDowngrade, shardStats)
+	}
+
 	fmt.Fprintln(out, "\nwindow counters:")
 	fmt.Fprintln(out, r.Window)
 	return true
+}
+
+// printShardStats renders the parallel kernel's self-observability table
+// (-shardstats): which kernel the run used and, when sharded, the window,
+// barrier, and per-shard utilization counters. All values derive from the
+// deterministic simulation, so the table is byte-reproducible.
+func printShardStats(out io.Writer, requested int, downgrade string, st *sim.EngineStats) {
+	fmt.Fprintln(out, "\nshard stats:")
+	if st == nil {
+		switch {
+		case requested <= 1:
+			fmt.Fprintln(out, "  sequential kernel (-shards 1)")
+		case downgrade != "":
+			fmt.Fprintf(out, "  sequential kernel (-shards %d downgraded: %s)\n", requested, downgrade)
+		default:
+			fmt.Fprintf(out, "  sequential kernel (-shards %d)\n", requested)
+		}
+		return
+	}
+	fmt.Fprintf(out, "  shards %d, lookahead %d cycles\n", st.Shards, st.Lookahead)
+	fmt.Fprintf(out, "  windows %d, window cycles %d, lookahead occupancy %.3f\n",
+		st.Windows, st.WindowCycles, st.LookaheadOccupancy)
+	fmt.Fprintf(out, "  barriers %d, barrier stall cycles %d\n", st.Barriers, st.BarrierStallCycles)
+	fmt.Fprintf(out, "  events %d, cross-shard merged %d, imbalance %.3f\n",
+		st.EventsTotal, st.CrossShardMerged, st.ImbalanceRatio)
+	fmt.Fprintf(out, "  %5s %12s %12s %6s\n", "shard", "events", "activewin", "util")
+	for i, sh := range st.PerShard {
+		fmt.Fprintf(out, "  %5d %12d %12d %6.3f\n", i, sh.Events, sh.ActiveWindows, sh.Utilization)
+	}
 }
 
 // startProfiles starts CPU profiling and arranges a heap profile at exit

@@ -5,9 +5,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
+
+	"leaserelease/internal/machine"
 )
 
 // The nil hub is inert: every method is safe and free so call sites need
@@ -22,7 +25,9 @@ func TestProgressNilSafe(t *testing.T) {
 	}
 	c.Start()
 	c.AddSimCycles(5)
+	c.ObserveShards(nil)
 	c.Done()
+	p.ObserveShards(nil)
 	s := p.Snapshot()
 	if s.CellsTotal != 0 || s.SimCycles != 0 {
 		t.Errorf("nil hub snapshot = %+v, want zero", s)
@@ -148,6 +153,99 @@ func TestProgressServeEndpoints(t *testing.T) {
 	resp.Body.Close()
 	if !strings.Contains(string(body), "fig4/t2") {
 		t.Error("expvar did not repoint to the newest hub")
+	}
+}
+
+// A sharded cell wired to a served hub surfaces the parallel kernel's
+// self-observability gauges on /metrics: window and barrier totals,
+// stall cycles, and one utilization series per shard, all parseable and
+// non-negative. This is the live-scrape contract of `leasesim -serve`
+// combined with -shards.
+func TestProgressMetricsShardGauges(t *testing.T) {
+	p := NewProgress()
+	addr, err := p.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := machine.DefaultConfig(8)
+	cfg.Shards = 4
+	cell := p.Cell("counter/t8")
+	cell.Start()
+	var m *machine.Machine
+	r := ThroughputOpts(cfg, 8, 20_000, 60_000, CounterWorkload(CounterLeasedTTS),
+		Options{Progress: cell,
+			Hooks: []func(*machine.Machine){func(mm *machine.Machine) { m = mm }}})
+	cell.Done()
+	if r.Err != nil {
+		t.Fatalf("sharded cell failed: %v", r.Err)
+	}
+	if eff, reason := m.EffectiveShards(); eff < 2 {
+		t.Fatalf("cell did not shard (eff=%d, reason=%q); gauge test would be vacuous", eff, reason)
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+
+	// Every gauge must be present with a parseable, non-negative value.
+	gauge := func(name string) float64 {
+		t.Helper()
+		for _, line := range strings.Split(text, "\n") {
+			if !strings.HasPrefix(line, name) || strings.HasPrefix(line, "# ") {
+				continue
+			}
+			rest := line[len(name):]
+			if len(rest) == 0 || (rest[0] != ' ' && rest[0] != '{') {
+				continue // longer metric name sharing the prefix
+			}
+			fields := strings.Fields(line)
+			v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+			if err != nil {
+				t.Fatalf("%s: unparseable value in %q: %v", name, line, err)
+			}
+			return v
+		}
+		t.Fatalf("/metrics missing %s:\n%s", name, text)
+		return 0
+	}
+	if v := gauge("leasesim_shard_count"); v < 2 {
+		t.Errorf("leasesim_shard_count = %g, want >= 2", v)
+	}
+	if v := gauge("leasesim_shard_windows_total"); v <= 0 {
+		t.Errorf("leasesim_shard_windows_total = %g, want > 0", v)
+	}
+	if v := gauge("leasesim_shard_barriers_total"); v <= 0 {
+		t.Errorf("leasesim_shard_barriers_total = %g, want > 0", v)
+	}
+	if v := gauge("leasesim_shard_barrier_stall_cycles"); v < 0 {
+		t.Errorf("leasesim_shard_barrier_stall_cycles = %g, want >= 0", v)
+	}
+	if v := gauge("leasesim_shard_lookahead_occupancy"); v <= 0 {
+		t.Errorf("leasesim_shard_lookahead_occupancy = %g, want > 0", v)
+	}
+	nShards := int(gauge("leasesim_shard_count"))
+	for i := 0; i < nShards; i++ {
+		series := fmt.Sprintf(`leasesim_shard_utilization{shard="%d"}`, i)
+		idx := strings.Index(text, series)
+		if idx < 0 {
+			t.Fatalf("/metrics missing %s", series)
+		}
+		rest := strings.Fields(text[idx+len(series):])
+		v, err := strconv.ParseFloat(rest[0], 64)
+		if err != nil {
+			t.Fatalf("%s: unparseable value: %v", series, err)
+		}
+		if v < 0 || v > 1 {
+			t.Errorf("%s = %g, want within [0,1]", series, v)
+		}
 	}
 }
 

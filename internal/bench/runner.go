@@ -180,16 +180,25 @@ func throughputGuarded(cfg machine.Config, threads int, warm, window uint64,
 			start := c.Now()
 			inner(tid, c)
 			end := c.Now()
-			if start >= warm {
-				rec.OpLatency.Observe(end - start)
-			}
-			if spans != nil {
-				// Threads spawn on cores in order, so tid == core id.
-				spans.OpEnd(tid, start, end, start >= warm)
-			}
-			if ledger != nil {
-				ledger.OpEnd(tid, start >= warm)
-			}
+			// The recorder's aggregates are single-consumer host state.
+			// Observe routes the op-boundary bookkeeping through the
+			// telemetry stream: immediate on the sequential kernel,
+			// buffered and replayed in canonical event order at the next
+			// window barrier on the parallel kernel — so histogram fills,
+			// span closes, and ledger op counts interleave with bus events
+			// exactly as in a sequential run.
+			c.Observe(func() {
+				if start >= warm {
+					rec.OpLatency.Observe(end - start)
+				}
+				if spans != nil {
+					// Threads spawn on cores in order, so tid == core id.
+					spans.OpEnd(tid, start, end, start >= warm)
+				}
+				if ledger != nil {
+					ledger.OpEnd(tid, start >= warm)
+				}
+			})
 		}
 	}
 	counts := make([]uint64, threads)
@@ -224,6 +233,7 @@ func throughputGuarded(cfg machine.Config, threads int, warm, window uint64,
 			}
 			rerr := m.Run(next)
 			o.Progress.AddSimCycles(m.Now() - now)
+			o.Progress.ObserveShards(m.ShardStats())
 			if rerr != nil {
 				return newRunError(m, threads, rerr)
 			}
@@ -273,6 +283,10 @@ func throughputGuarded(cfg machine.Config, threads int, warm, window uint64,
 		rec.Finish(m.Now())
 	}
 	m.Stop()
+	if ss := m.ShardStats(); ss != nil {
+		recordShardSample(ss)
+		o.Progress.ObserveShards(ss)
+	}
 	if chk != nil {
 		chk.CheckNow()
 		if cerr := chk.Err(); cerr != nil {

@@ -9,16 +9,19 @@ import (
 	"leaserelease/internal/coherence"
 	"leaserelease/internal/faults"
 	"leaserelease/internal/machine"
+	"leaserelease/internal/sim"
 	"leaserelease/internal/telemetry"
 )
 
 // These tests pin the sharded kernel's hard invariant: for a given config
 // and seed, measured output is byte-identical at every shard count. The
 // MSI cells must actually certify for parallel execution (the assertion on
-// EffectiveShards keeps the comparison non-vacuous); everything the
-// certification excludes — Tardis, telemetry, fault injection — must
-// degrade to serial with a stated reason and still produce identical
-// output.
+// EffectiveShards keeps the comparison non-vacuous) — including
+// telemetry-enabled cells, whose bus buffers emissions per shard and
+// merges them in canonical order at window barriers. Everything the
+// certification excludes — Tardis, fault injection, synchronous
+// subscribers like the invariant checker — must degrade to serial with a
+// stated reason and still produce identical output.
 
 // shardRun runs the contended-counter workload at the given shard count
 // and reports the result plus the shard count the machine actually used.
@@ -118,40 +121,140 @@ func TestShardsComposeWithParallel(t *testing.T) {
 	}
 }
 
-// TestShardsTelemetryDegradesToSerial pins the certification rule that
-// keeps golden reports stable: a Recorder attaches a telemetry bus, so a
-// measured run ignores Shards (degrading with a reason) and its results —
-// including latency digests and span accounting — are untouched.
-func TestShardsTelemetryDegradesToSerial(t *testing.T) {
+// TestShardsTelemetryByteIdentical is the tentpole assertion of the
+// buffered bus: a fully instrumented run (Recorder + spans + ledger)
+// certifies for parallel execution, and every derived digest — latency
+// histograms, span accounting, lease ledger — is identical to the serial
+// run's, because buffered emissions merge in canonical event order at
+// window barriers.
+func TestShardsTelemetryByteIdentical(t *testing.T) {
 	const threads, warm, window = 8, 20_000, 60_000
 	run := func(shards int) (Result, int, string) {
 		cfg := machine.DefaultConfig(threads)
 		cfg.Shards = shards
 		rec := telemetry.NewRecorder()
 		rec.EnableSpans()
+		rec.EnableLedger()
 		var m *machine.Machine
 		r := ThroughputOpts(cfg, threads, warm, window, CounterWorkload(CounterLeasedTTS),
 			Options{Recorder: rec, Hooks: []func(*machine.Machine){func(mm *machine.Machine) { m = mm }}})
 		eff, reason := m.EffectiveShards()
 		return r, eff, reason
 	}
+	base, eff, _ := run(1)
+	if base.Err != nil {
+		t.Fatalf("baseline run failed: %v", base.Err)
+	}
+	if eff != 1 {
+		t.Fatalf("shards=1 ran with %d effective shards", eff)
+	}
+	if base.OpLatency == nil || base.Txns == nil || base.LeaseLedger == nil {
+		t.Fatal("measured run lost its telemetry digests")
+	}
+	for _, k := range []int{2, 4} {
+		sharded, eff, reason := run(k)
+		if sharded.Err != nil {
+			t.Fatalf("shards=%d run failed: %v", k, sharded.Err)
+		}
+		if eff < 2 {
+			t.Fatalf("shards=%d: telemetry-enabled MSI run did not certify (eff=%d, reason=%q)",
+				k, eff, reason)
+		}
+		if !reflect.DeepEqual(base, sharded) {
+			t.Fatalf("shards=%d: telemetry-enabled result differs from serial baseline:\nserial:  %+v\nsharded: %+v",
+				k, base, sharded)
+		}
+	}
+}
+
+// TestShardsInvariantsDegradeToSerial pins the one telemetry subscriber
+// that still serializes a run: the invariant checker reads live machine
+// state in its handlers, so it requires synchronous delivery and the
+// certification degrades with the documented reason — producing identical
+// results anyway.
+func TestShardsInvariantsDegradeToSerial(t *testing.T) {
+	const threads, warm, window = 8, 20_000, 60_000
+	run := func(shards int) (Result, int, string) {
+		cfg := machine.DefaultConfig(threads)
+		cfg.Shards = shards
+		var m *machine.Machine
+		r := ThroughputOpts(cfg, threads, warm, window, CounterWorkload(CounterLeasedTTS),
+			Options{Invariants: true,
+				Hooks: []func(*machine.Machine){func(mm *machine.Machine) { m = mm }}})
+		eff, reason := m.EffectiveShards()
+		return r, eff, reason
+	}
 	base, _, _ := run(1)
+	if base.Err != nil {
+		t.Fatalf("serial run failed: %v", base.Err)
+	}
 	sharded, eff, reason := run(4)
-	if eff != 1 || reason != "telemetry attached" {
-		t.Fatalf("telemetry run must serialize: eff=%d reason=%q", eff, reason)
+	if eff != 1 || reason != "synchronous telemetry subscriber attached" {
+		t.Fatalf("invariant-checked run must serialize: eff=%d reason=%q", eff, reason)
 	}
 	if !reflect.DeepEqual(base, sharded) {
-		t.Fatal("telemetry-enabled result changed when Shards was set")
+		t.Fatal("invariant-checked result changed when Shards was set")
 	}
-	if base.OpLatency == nil || base.Txns == nil {
-		t.Fatal("measured run lost its telemetry digests")
+}
+
+// TestShardsEngineStats checks the engine's self-observability snapshot of
+// a sharded run: present exactly when the run sharded, internally
+// consistent (per-shard events sum to the total, utilizations within
+// [0,1], occupancy positive), and deterministic across reruns.
+func TestShardsEngineStats(t *testing.T) {
+	const threads, warm, window = 8, 20_000, 60_000
+	run := func(shards int) *sim.EngineStats {
+		cfg := machine.DefaultConfig(threads)
+		cfg.Shards = shards
+		var m *machine.Machine
+		r := Throughput(cfg, threads, warm, window, CounterWorkload(CounterLeasedTTS),
+			func(mm *machine.Machine) { m = mm })
+		if r.Err != nil {
+			t.Fatalf("shards=%d run failed: %v", shards, r.Err)
+		}
+		return m.ShardStats()
+	}
+	if st := run(1); st != nil {
+		t.Fatalf("sequential run must have no shard stats, got %+v", st)
+	}
+	st := run(4)
+	if st == nil {
+		t.Fatal("sharded run reported no shard stats")
+	}
+	if st.Shards < 2 || st.Windows == 0 || st.Barriers == 0 || st.EventsTotal == 0 {
+		t.Fatalf("implausible shard stats: %+v", st)
+	}
+	if len(st.PerShard) != st.Shards {
+		t.Fatalf("per-shard rows %d != shards %d", len(st.PerShard), st.Shards)
+	}
+	var sum uint64
+	for i, sh := range st.PerShard {
+		sum += sh.Events
+		if sh.Utilization < 0 || sh.Utilization > 1 {
+			t.Fatalf("shard %d utilization %v out of [0,1]", i, sh.Utilization)
+		}
+		if sh.ActiveWindows > st.Windows {
+			t.Fatalf("shard %d active windows %d > windows %d", i, sh.ActiveWindows, st.Windows)
+		}
+	}
+	if sum != st.EventsTotal {
+		t.Fatalf("per-shard events sum %d != total %d", sum, st.EventsTotal)
+	}
+	if st.LookaheadOccupancy <= 0 || st.WindowCycles == 0 {
+		t.Fatalf("empty window accounting: %+v", st)
+	}
+	if st.ImbalanceRatio < 1 {
+		t.Fatalf("imbalance ratio %v < 1 (max/mean cannot be)", st.ImbalanceRatio)
+	}
+	if again := run(4); !reflect.DeepEqual(st, again) {
+		t.Fatalf("shard stats not deterministic across reruns:\nfirst:  %+v\nsecond: %+v", st, again)
 	}
 }
 
 // TestShardsSweepTablesByteIdentical renders a real experiment table —
-// fig3-counter mixes shard-certified plain cells (tts/ticket/clh) with
-// telemetry-degraded ones (lease) — across shards × pool sizes ×
-// protocols and requires the emitted bytes never change.
+// fig3-counter spans several lock variants (tts/ticket/clh/lease), all
+// shard-certified under MSI — across shards × pool sizes × protocols and
+// requires the emitted bytes never change.
 func TestShardsSweepTablesByteIdentical(t *testing.T) {
 	base := Params{Threads: []int{2, 8}, Warm: 20_000, Window: 60_000}
 	e, ok := Find("fig3-counter")

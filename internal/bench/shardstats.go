@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"sync"
+
+	"leaserelease/internal/sim"
+)
+
+// The harness keeps one process-wide sample of the parallel executor's
+// self-observability counters (sim.EngineStats): the most recent run that
+// actually executed on the windowed parallel kernel deposits its snapshot
+// here. Hosts that aggregate many cells (leasebench -perfjson, the
+// perf-smoke CI artifact) read it back with ShardSample after a sweep —
+// per-cell Results deliberately do not carry engine stats, because Result
+// equality across shard counts is itself a correctness assertion.
+var (
+	shardSampleMu sync.Mutex
+	shardSample   *sim.EngineStats
+)
+
+// recordShardSample stores st as the process-wide sample (last writer
+// wins; sweeps running cells in parallel race benignly). Nil is ignored.
+func recordShardSample(st *sim.EngineStats) {
+	if st == nil {
+		return
+	}
+	shardSampleMu.Lock()
+	shardSample = st
+	shardSampleMu.Unlock()
+}
+
+// ShardSample returns the engine self-observability snapshot of the most
+// recent benchmark run that executed on the parallel kernel, or nil if no
+// run has (all cells sequential, or none finished yet).
+func ShardSample() *sim.EngineStats {
+	shardSampleMu.Lock()
+	defer shardSampleMu.Unlock()
+	return shardSample
+}

@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"leaserelease/internal/coherence"
+	"leaserelease/internal/machine"
+	"leaserelease/internal/telemetry"
+)
+
+// This file pins the buffered bus end to end: every *derived* telemetry
+// artifact — the Chrome-trace timeline, the hot-line ranking, the span
+// cycle accounting, and the lease-ledger report — must be byte-identical
+// across shard counts and host worker pools. The shards=1 run is the
+// golden within each comparison: the sequential kernel's artifact defines
+// the expected bytes, and every sharded/pooled rerun must reproduce them
+// exactly. Any reordering, duplication, or loss in the barrier merge shows
+// up as a byte diff in at least one artifact.
+
+// cellArtifacts is one run's derived telemetry, serialized for byte
+// comparison.
+type cellArtifacts struct {
+	timeline []byte // Chrome trace-event export (rec.Timeline.Write)
+	hotlines []byte // ranked hot-line table (HotLineRows) as JSON
+	txns     []byte // span cycle accounting (Result.Txns) as JSON
+	ledger   []byte // joined ledger report (BuildLedgerReport) as JSON
+	eff      int
+	reason   string
+}
+
+func mustJSON(t *testing.T, v interface{}) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return b
+}
+
+// telemetryArtifacts runs one fully instrumented cell (timeline + spans +
+// ledger) and serializes its derived telemetry.
+func telemetryArtifacts(t *testing.T, proto string, shards, threads int, seed uint64,
+	warm, window uint64) cellArtifacts {
+	t.Helper()
+	cfg := machine.DefaultConfig(threads)
+	cfg.Protocol = proto
+	cfg.Shards = shards
+	cfg.Seed = seed
+	rec := telemetry.NewRecorder()
+	rec.EnableTimeline(float64(cfg.ClockHz) / 1e6)
+	rec.EnableSpans()
+	rec.EnableLedger()
+	var m *machine.Machine
+	r := ThroughputOpts(cfg, threads, warm, window, CounterWorkload(CounterLeasedTTS),
+		Options{Recorder: rec,
+			Hooks: []func(*machine.Machine){func(mm *machine.Machine) { m = mm }}})
+	if r.Err != nil {
+		t.Fatalf("proto=%s shards=%d seed=%d run failed: %v", proto, shards, seed, r.Err)
+	}
+	var tl bytes.Buffer
+	if err := rec.Timeline.Write(&tl); err != nil {
+		t.Fatalf("timeline write: %v", err)
+	}
+	a := cellArtifacts{
+		timeline: tl.Bytes(),
+		hotlines: mustJSON(t, HotLineRows(rec, 10)),
+		txns:     mustJSON(t, r.Txns),
+		ledger:   mustJSON(t, BuildLedgerReport(r.LeaseLedger, rec)),
+	}
+	a.eff, a.reason = m.EffectiveShards()
+	return a
+}
+
+func diffArtifacts(t *testing.T, label string, want, got cellArtifacts) {
+	t.Helper()
+	for _, c := range []struct {
+		name      string
+		want, got []byte
+	}{
+		{"timeline", want.timeline, got.timeline},
+		{"hotlines", want.hotlines, got.hotlines},
+		{"txn_accounting", want.txns, got.txns},
+		{"ledger", want.ledger, got.ledger},
+	} {
+		if !bytes.Equal(c.want, c.got) {
+			t.Errorf("%s: %s differs from the sequential golden (%d vs %d bytes)",
+				label, c.name, len(c.want), len(c.got))
+		}
+	}
+}
+
+// TestShardsDerivedTelemetryByteIdentical sweeps shards 1/2/4 for both
+// protocols: MSI must actually shard (non-vacuous), Tardis must degrade —
+// and both must reproduce the sequential artifacts byte for byte.
+func TestShardsDerivedTelemetryByteIdentical(t *testing.T) {
+	const threads, warm, window = 8, 20_000, 60_000
+	for _, proto := range []string{coherence.ProtocolMSI, coherence.ProtocolTardis} {
+		t.Run(proto, func(t *testing.T) {
+			golden := telemetryArtifacts(t, proto, 1, threads, 1, warm, window)
+			if len(golden.timeline) == 0 || len(golden.txns) == 0 || len(golden.ledger) == 0 {
+				t.Fatal("sequential golden produced empty artifacts")
+			}
+			for _, shards := range []int{2, 4} {
+				got := telemetryArtifacts(t, proto, shards, threads, 1, warm, window)
+				if proto == coherence.ProtocolMSI && got.eff < 2 {
+					t.Fatalf("shards=%d: MSI telemetry run did not certify (eff=%d, reason=%q)",
+						shards, got.eff, got.reason)
+				}
+				if proto == coherence.ProtocolTardis && got.eff != 1 {
+					t.Fatalf("shards=%d: Tardis must degrade to serial, got eff=%d", shards, got.eff)
+				}
+				diffArtifacts(t, fmt.Sprintf("proto=%s shards=%d", proto, shards), golden, got)
+			}
+		})
+	}
+}
+
+// TestShardsDerivedTelemetryComposeWithPool crosses the two parallelism
+// axes: four instrumented cells (distinct seeds) run concurrently on a
+// 4-worker pool with shards=4 inside each, and every cell's artifacts
+// must match its sequential unsharded twin.
+func TestShardsDerivedTelemetryComposeWithPool(t *testing.T) {
+	const threads, warm, window = 8, 20_000, 60_000
+	seeds := []uint64{1, 2, 3, 4}
+
+	goldens := make([]cellArtifacts, len(seeds))
+	for i, seed := range seeds {
+		goldens[i] = telemetryArtifacts(t, coherence.ProtocolMSI, 1, threads, seed, warm, window)
+	}
+
+	pool := NewPool(4)
+	defer pool.Close()
+	futs := make([]*Future[cellArtifacts], len(seeds))
+	for i, seed := range seeds {
+		seed := seed
+		futs[i] = Go(pool, func() cellArtifacts {
+			return telemetryArtifacts(t, coherence.ProtocolMSI, 4, threads, seed, warm, window)
+		})
+	}
+	for i := range seeds {
+		got := futs[i].Get()
+		if got.eff < 2 {
+			t.Fatalf("seed %d: pooled cell did not certify (eff=%d, reason=%q)",
+				seeds[i], got.eff, got.reason)
+		}
+		diffArtifacts(t, fmt.Sprintf("seed=%d pooled shards=4", seeds[i]), goldens[i], got)
+	}
+}

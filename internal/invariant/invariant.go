@@ -131,6 +131,13 @@ type Checker struct {
 // Attach subscribes a new checker to the machine's telemetry bus. The
 // machine's bus is created on first use, so attaching enables telemetry
 // emission — but the checker itself never perturbs simulated timing.
+//
+// The checker's handlers read live machine state (directory entries, L1
+// states) at the moment of each event, so it requires synchronous event
+// delivery: attaching marks the bus with RequireSync, which makes the
+// machine degrade a sharded configuration to the sequential executor.
+// Buffer-and-merge subscribers (histograms, spans, ledger, timelines)
+// have no such requirement and shard freely.
 func Attach(m *machine.Machine, cfg Config) *Checker {
 	cfg = cfg.withDefaults()
 	c := &Checker{
@@ -142,7 +149,9 @@ func Attach(m *machine.Machine, cfg Config) *Checker {
 		history:       make([]telemetry.Event, cfg.History),
 		agreementRule: m.ProtocolName() + "-agreement",
 	}
-	m.Telemetry().SubscribeAll(c.onEvent)
+	bus := m.Telemetry()
+	bus.RequireSync()
+	bus.SubscribeAll(c.onEvent)
 	return c
 }
 

@@ -96,6 +96,15 @@ func (c *Ctx) Rand() *sim.RNG { return c.p.RNG() }
 // interleaving-invariant, and lock-free under parallel windows.
 func (c *Ctx) Alloc(size uint64) mem.Addr { return c.cs.arena.AllocAligned(size) }
 
+// Observe runs fn at the current point of the thread's telemetry stream.
+// Under the sequential executor (or with no telemetry bus) fn runs
+// immediately; under the parallel executor it is buffered alongside the
+// core's emissions and replayed by the barrier merge in canonical order.
+// The harness uses it for operation-boundary observations — latency
+// histograms, span and ledger op accounting — which touch single-consumer
+// host state and must fold in the same order at any shard count.
+func (c *Ctx) Observe(fn func()) { c.m.bus.Defer(c.cs.dom, fn) }
+
 // access obtains the line of a with read or write permission, blocking
 // through the coherence protocol on a miss. On return the access itself
 // has been charged (L1 hit latency) and the value may be read/written.
@@ -169,7 +178,7 @@ func (c *Ctx) LeaseAt(site uint64, a mem.Addr, dur uint64) {
 	cs := c.cs
 	if cs.pred.shouldIgnore(site) {
 		atomic.AddUint64(&c.m.stats.IgnoredLeases, 1)
-		c.m.trace(cs.id, TraceIgnored, mem.LineOf(a))
+		c.m.trace(cs, TraceIgnored, mem.LineOf(a))
 		c.p.Work(1)
 		return
 	}
@@ -184,12 +193,12 @@ func (c *Ctx) LeaseAt(site uint64, a mem.Addr, dur uint64) {
 		dur = g
 	}
 	atomic.AddUint64(&c.m.stats.Leases, 1)
-	c.m.trace(cs.id, TraceLease, l)
+	c.m.trace(cs, TraceLease, l)
 	evicted, _ := cs.leases.Insert(l, dur, false)
 	cs.leases.Find(l).Site = site
 	if evicted != nil {
 		atomic.AddUint64(&c.m.stats.EvictedLeases, 1)
-		c.m.traceVal(cs.id, TraceEvicted, evicted.Line, leaseHold(evicted, c.p.Clock()))
+		c.m.traceVal(cs, TraceEvicted, evicted.Line, leaseHold(evicted, c.p.Clock()))
 		c.m.releaseEntry(cs, evicted)
 	}
 	if cs.l1.Lookup(l, true) {
@@ -197,7 +206,7 @@ func (c *Ctx) LeaseAt(site uint64, a mem.Addr, dur uint64) {
 		if started := cs.leases.Start(l, c.p.Clock()); started != nil {
 			cs.l1.Pin(l)
 			c.m.proto.LeaseStarted(cs.id, l, started.Duration)
-			c.m.traceVal(cs.id, TraceStart, l, started.Duration)
+			c.m.traceVal(cs, TraceStart, l, started.Duration)
 			c.m.scheduleExpiry(cs, started)
 		}
 		c.p.Work(c.m.cfg.L1HitLat)
@@ -225,7 +234,7 @@ func (c *Ctx) Release(a mem.Addr) bool {
 		return false
 	}
 	atomic.AddUint64(&c.m.stats.VoluntaryReleases, 1)
-	c.m.traceVal(cs.id, TraceVoluntary, e.Line, leaseHold(e, now))
+	c.m.traceVal(cs, TraceVoluntary, e.Line, leaseHold(e, now))
 	c.m.releaseEntry(cs, e)
 	return true
 }
@@ -243,7 +252,7 @@ func (c *Ctx) releaseAllNow() {
 	cs := c.cs
 	for _, e := range cs.leases.RemoveAll() {
 		atomic.AddUint64(&c.m.stats.VoluntaryReleases, 1)
-		c.m.traceVal(cs.id, TraceVoluntary, e.Line, leaseHold(e, c.p.Clock()))
+		c.m.traceVal(cs, TraceVoluntary, e.Line, leaseHold(e, c.p.Clock()))
 		c.m.releaseEntry(cs, e)
 	}
 }
@@ -284,7 +293,7 @@ func (c *Ctx) MultiLease(dur uint64, addrs ...mem.Addr) bool {
 	c.p.Sync()
 	for _, e := range cs.leases.StartGroup(c.p.Clock()) {
 		c.m.proto.LeaseStarted(cs.id, e.Line, e.Duration)
-		c.m.traceVal(cs.id, TraceStart, e.Line, e.Duration)
+		c.m.traceVal(cs, TraceStart, e.Line, e.Duration)
 		c.m.scheduleExpiry(cs, e)
 	}
 	return true

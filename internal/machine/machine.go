@@ -186,18 +186,23 @@ func (m *Machine) Drain() error {
 // applySharding certifies and applies the cfg.Shards request before the
 // first Run. Parallel windows only engage for configurations whose entire
 // event graph is shard-safe: the MSI directory (whose message paths are
-// domain-routed with >= Timing.Net lookahead), no telemetry bus (bus
-// subscribers — spans, ledger, invariant checker, recorder histograms —
-// are single-consumer host state), and no fault injection (the injector's
-// draw order is defined by the global event order). Everything else runs
-// the sequential executor, which is the identical event order anyway —
+// domain-routed with >= Timing.Net lookahead) and no fault injection (the
+// injector's draw order is defined by the global event order). A telemetry
+// bus is shard-safe — when windows engage, it switches to per-shard
+// append-only buffers that the engine's barrier hook drains into the
+// subscribers in canonical order (telemetry.Bus.ShardBuffers), so derived
+// telemetry is byte-identical at any shard count. The one exception is a
+// subscriber that must observe events synchronously with simulated
+// execution (the invariant checker reads live machine state): such a bus
+// reports NeedsSync and the run degrades to the sequential executor.
+// Everything degraded runs the identical event order anyway —
 // byte-identical output is preserved in both directions.
 func (m *Machine) applySharding() {
 	if m.shardsDone {
 		return
 	}
 	m.shardsDone = true
-	k, reason := shardPlan(m.cfg.Shards, m.proto.Name(), m.bus != nil,
+	k, reason := shardPlan(m.cfg.Shards, m.proto.Name(), m.bus.NeedsSync(),
 		m.faults != nil, m.cfg.Timing.Net, m.spawned)
 	m.effShards, m.shardReason = k, reason
 	if k <= 1 {
@@ -210,13 +215,17 @@ func (m *Machine) applySharding() {
 		}
 		return 1 + int(dom%workers)
 	})
+	if m.bus != nil {
+		m.bus.ShardBuffers(k)
+		m.eng.SetBarrierHook(m.bus.DrainBarrier)
+	}
 }
 
 // shardPlan is the certification decision itself, pure so hosts can
 // predict it: the requested shard count is granted only when every input
 // to the event graph is shard-safe, and otherwise downgraded to 1 with
 // the reason.
-func shardPlan(requested int, protoName string, busAttached, faultsEnabled bool,
+func shardPlan(requested int, protoName string, busNeedsSync, faultsEnabled bool,
 	net sim.Time, spawned int) (int, string) {
 	k := requested
 	var reason string
@@ -225,8 +234,8 @@ func shardPlan(requested int, protoName string, busAttached, faultsEnabled bool,
 		k = 1
 	case protoName != coherence.ProtocolMSI:
 		k, reason = 1, "protocol "+protoName+" is not shard-certified"
-	case busAttached:
-		k, reason = 1, "telemetry attached"
+	case busNeedsSync:
+		k, reason = 1, "synchronous telemetry subscriber attached"
 	case faultsEnabled:
 		k, reason = 1, "fault injection enabled"
 	case net == 0:
@@ -240,11 +249,12 @@ func shardPlan(requested int, protoName string, busAttached, faultsEnabled bool,
 	return k, reason
 }
 
-// ShardPlan predicts the shard count a plain (no-telemetry) run of cfg
-// with the given spawned thread count will certify to, and the downgrade
-// reason if any. Hosts use it to record effective shard counts (e.g.
-// leasebench -perfjson) without building a machine; telemetry-enabled
-// cells additionally serialize ("telemetry attached").
+// ShardPlan predicts the shard count a run of cfg with the given spawned
+// thread count will certify to, and the downgrade reason if any. Hosts use
+// it to record effective shard counts (e.g. leasebench -perfjson) without
+// building a machine. Telemetry no longer downgrades a run (the bus
+// buffers per shard and merges at barriers); only a synchronous subscriber
+// — the invariant checker — does, which a host cannot see from cfg alone.
 func ShardPlan(cfg Config, threads int) (int, string) {
 	proto := cfg.Protocol
 	if proto == "" {
@@ -261,6 +271,18 @@ func (m *Machine) EffectiveShards() (int, string) {
 		return 1, "not yet running"
 	}
 	return m.effShards, m.shardReason
+}
+
+// ShardStats returns the parallel executor's self-observability snapshot —
+// windows, barriers, stall cycles, per-shard utilization — or nil for a
+// run that executed sequentially. Call while the machine is idle (between
+// or after Runs).
+func (m *Machine) ShardStats() *sim.EngineStats {
+	if !m.shardsDone || m.effShards <= 1 {
+		return nil
+	}
+	st := m.eng.Stats()
+	return &st
 }
 
 // Stop tears down all still-blocked threads. Call after the final Run so
@@ -366,7 +388,7 @@ func (m *Machine) mintTxn(cs *coreState, req *coherence.Request) {
 	if cs.l1.State(req.Line) == cache.Shared {
 		flags |= telemetry.TxnFlagUpgrade
 	}
-	m.bus.Emit2(telemetry.CatTxn, cs.id, telemetry.TxnBegin, req.Line, req.Txn, flags)
+	m.bus.EmitOn2(cs.dom, telemetry.CatTxn, cs.id, telemetry.TxnBegin, req.Line, req.Txn, flags)
 }
 
 // serveDeferred delivers the (at most one) probe deferred on a released
@@ -378,10 +400,8 @@ func (m *Machine) serveDeferred(cs *coreState, e *core.Entry) {
 		return
 	}
 	req := p.(*coherence.Request)
-	if m.bus != nil {
-		m.bus.Emit2(telemetry.CatLease, cs.id, telemetry.ProbeServed, e.Line,
-			cs.dom.Now()-e.ProbeQueuedAt, req.Txn)
-	}
+	m.bus.EmitOn2(cs.dom, telemetry.CatLease, cs.id, telemetry.ProbeServed, e.Line,
+		cs.dom.Now()-e.ProbeQueuedAt, req.Txn)
 	to := cache.Shared
 	if req.Excl {
 		to = cache.Invalid
@@ -406,7 +426,7 @@ func (m *Machine) scheduleExpiry(cs *coreState, e *core.Entry) {
 			return // released voluntarily (or evicted) in the meantime
 		}
 		atomic.AddUint64(&m.stats.InvoluntaryReleases, 1)
-		m.traceVal(cs.id, TraceInvoluntary, line, x.Duration)
+		m.traceVal(cs, TraceInvoluntary, line, x.Duration)
 		cs.pred.record(x.Site, false)
 		if shrank, _ := cs.ctrl.record(x.Site, false); shrank {
 			atomic.AddUint64(&m.stats.CtrlShrinks, 1)
@@ -467,7 +487,7 @@ func (m *Machine) installLine(cs *coreState, l mem.Line, st cache.State) {
 				Detail: "L1 set fully pinned but lease table empty"})
 		}
 		atomic.AddUint64(&m.stats.ForcedReleases, 1)
-		m.traceVal(cs.id, TraceForced, e.Line, leaseHold(e, cs.dom.Now()))
+		m.traceVal(cs, TraceForced, e.Line, leaseHold(e, cs.dom.Now()))
 		m.releaseEntry(cs, e)
 	}
 	victim, vst, evicted := cs.l1.Install(l, st)
@@ -501,7 +521,7 @@ func (d *dirEnv) DeliverProbe(owner int, req *coherence.Request) bool {
 			// §5 prioritization: a regular request breaks the lease.
 			e := cs.leases.Remove(req.Line)
 			atomic.AddUint64(&m.stats.BrokenLeases, 1)
-			m.traceVal(owner, TraceBroken, req.Line, leaseHold(e, cs.dom.Now()))
+			m.traceVal(cs, TraceBroken, req.Line, leaseHold(e, cs.dom.Now()))
 			cs.l1.Unpin(req.Line)
 			m.proto.LeaseReleased(owner, req.Line)
 			if e.HasProbe() {
@@ -513,7 +533,7 @@ func (d *dirEnv) DeliverProbe(owner int, req *coherence.Request) bool {
 			if e := cs.leases.Find(req.Line); e != nil {
 				e.ProbeQueuedAt = cs.dom.Now()
 			}
-			m.trace(owner, TraceDeferred, req.Line)
+			m.trace(cs, TraceDeferred, req.Line)
 			return true
 		}
 	}
@@ -544,7 +564,7 @@ func (d *dirEnv) Complete(req *coherence.Request, st cache.State) {
 			} else if started := cs.leases.Start(req.Line, cs.dom.Now()); started != nil {
 				cs.l1.Pin(req.Line)
 				m.proto.LeaseStarted(cs.id, req.Line, started.Duration)
-				m.traceVal(cs.id, TraceStart, req.Line, started.Duration)
+				m.traceVal(cs, TraceStart, req.Line, started.Duration)
 				m.scheduleExpiry(cs, started)
 			}
 		}

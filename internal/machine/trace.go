@@ -81,6 +81,7 @@ func (m *Machine) Telemetry() *telemetry.Bus {
 		for _, cs := range m.cores {
 			cs.l1.Bus = m.bus
 			cs.l1.CoreID = cs.id
+			cs.l1.Dom = cs.dom // emit context: evictions run on the core's domain
 		}
 	}
 	return m.bus
@@ -102,14 +103,18 @@ func (m *Machine) SetTracer(fn func(TraceEvent)) {
 	})
 }
 
-// trace emits a lease-lifecycle event with no measurement payload.
-func (m *Machine) trace(core int, kind TraceKind, line mem.Line) {
-	m.traceVal(core, kind, line, telemetry.NoVal)
+// trace emits a lease-lifecycle event with no measurement payload. The
+// emitting core's state carries the execution context (its scheduling
+// domain): every lease-lifecycle emit site runs on the core's own domain,
+// which is what routes the event to the right shard buffer under the
+// parallel executor.
+func (m *Machine) trace(cs *coreState, kind TraceKind, line mem.Line) {
+	m.traceVal(cs, kind, line, telemetry.NoVal)
 }
 
 // traceVal emits a lease-lifecycle event onto the telemetry bus; val
 // carries the kind-specific measurement (hold cycles for release-class
 // kinds) or telemetry.NoVal.
-func (m *Machine) traceVal(core int, kind TraceKind, line mem.Line, val uint64) {
-	m.bus.Emit(telemetry.CatLease, core, uint8(kind), line, val)
+func (m *Machine) traceVal(cs *coreState, kind TraceKind, line mem.Line, val uint64) {
+	m.bus.EmitOn(cs.dom, telemetry.CatLease, cs.id, uint8(kind), line, val)
 }

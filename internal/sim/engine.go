@@ -211,6 +211,21 @@ func (d *Domain) CrossAt(dst *Domain, t Time, fn func()) { d.sh.push(dst, d, t, 
 // CrossAfter schedules fn on dst dt cycles from the source domain's now.
 func (d *Domain) CrossAfter(dst *Domain, dt Time, fn func()) { d.CrossAt(dst, d.sh.now+dt, fn) }
 
+// EmitContext reports the emitting execution context for buffered
+// telemetry (it satisfies telemetry.DomainContext): the index of the
+// owning shard's event buffer — or -1 while the engine is not executing
+// parallel windows, meaning the emission must be delivered synchronously —
+// plus the shard clock and the canonical key (cycle, domain, src, seq) of
+// the event currently executing. Like Now, it may only be called from the
+// domain's own execution context.
+func (d *Domain) EmitContext() (buf int, now, at Time, dom, src uint32, seq uint64) {
+	s := d.sh
+	if !s.eng.windowing {
+		return -1, s.now, 0, 0, 0, 0
+	}
+	return s.idx, s.now, s.curAt, s.curDom, s.curSrc, s.curSeq
+}
+
 // Engine is a deterministic discrete-event simulator. The zero value is not
 // usable; construct with NewEngine. By default the engine is sequential
 // (one shard); ConfigureSharding enables the windowed parallel executor.
@@ -238,6 +253,20 @@ type Engine struct {
 	lookahead   Time
 	domShard    func(uint32) int
 	partitioned bool
+
+	// windowing is true while runWindows is executing parallel windows.
+	// It is written only by the coordinator while every worker is parked
+	// (before the first window starts and after the last barrier), so
+	// shard-goroutine reads during a window are race-free.
+	windowing bool
+
+	// barrierHook, if set, runs on the coordinating goroutine at every
+	// window barrier, after all shards have parked (SetBarrierHook).
+	barrierHook func()
+
+	// stats accumulates the self-observability counters of the windowed
+	// executor; see Stats.
+	stats engineCounters
 
 	// EventCount is the total number of events executed so far, across all
 	// shards; refreshed when Run returns. A proc Sync that fast-forwards
@@ -362,7 +391,16 @@ type shard struct {
 	now    Time
 	events eventHeap // future (and cross-domain same-cycle) events
 	fifo   eventRing // same-cycle same-domain events, in insertion order
-	curDom uint32    // domain of the event currently executing
+
+	// Canonical key of the event currently executing (curAt/curDom/
+	// curSrc/curSeq), maintained by next() as the single source of truth.
+	// Emissions made while a proc holds the token are attributed to the
+	// proc's wake event — the last event popped on this shard — which is
+	// the same attribution the sequential executor would make, since no
+	// other event runs while the proc holds the token.
+	curAt  Time
+	curDom uint32 // domain of the event currently executing
+	curSrc uint32
 
 	// windowEnd is the exclusive execution horizon for the current window
 	// (MaxTime when sequential); stopAt caches the engine stop time.
@@ -471,7 +509,7 @@ func (s *shard) next() (event, bool) {
 		// sequential semantics; windowed shards converge at barriers).
 		return event{}, false
 	}
-	s.curDom = ev.dom
+	s.curAt, s.curDom, s.curSrc, s.curSeq = ev.at, ev.dom, ev.src, ev.seq
 	s.eventCount++
 	s.stallEvents++
 	if limit := s.eng.StallLimit; limit > 0 && s.stallEvents > limit {
@@ -528,7 +566,6 @@ func (e *Engine) Run(until Time) error {
 		if q.state == procDone {
 			continue // stale wake for a finished proc
 		}
-		s.curSeq = ev.seq
 		q.state = procRunning
 		q.resume <- ev.at // hand the token to q ...
 		<-s.home          // ... and wait for the run to end
@@ -621,7 +658,6 @@ func (s *shard) drive(self *Proc) Time {
 		if q.state == procDone {
 			continue
 		}
-		s.curSeq = ev.seq
 		if q == self {
 			return ev.at // own wake: keep the token, no handoff at all
 		}
@@ -662,7 +698,6 @@ func (s *shard) driveDetached() {
 		if q.state == procDone {
 			continue
 		}
-		s.curSeq = ev.seq
 		q.state = procRunning
 		q.resume <- ev.at
 		return
@@ -686,7 +721,6 @@ func (s *shard) exec(ev event) {
 				Value: r, Stack: stack()})
 		}
 	}()
-	s.curSeq = ev.seq
 	ev.fn()
 }
 

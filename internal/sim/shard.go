@@ -30,6 +30,11 @@ func (e *Engine) runWindows(until Time) error {
 		s.stopAt = until
 		s.verdict = nil
 	}
+	e.windowing = true
+	defer func() { e.windowing = false }()
+	if e.stats.active == nil {
+		e.stats.active = make([]uint64, len(e.shards))
+	}
 	var wg sync.WaitGroup
 	starts := make([]chan struct{}, len(e.shards))
 	for i := 1; i < len(e.shards); i++ {
@@ -54,6 +59,7 @@ func (e *Engine) runWindows(until Time) error {
 		t0 := MaxTime
 		for _, s := range e.shards {
 			if len(s.inbox) > 0 {
+				e.stats.merged += uint64(len(s.inbox))
 				for _, ev := range s.inbox {
 					s.events.push(ev)
 				}
@@ -70,13 +76,20 @@ func (e *Engine) runWindows(until Time) error {
 		if la := t0 + e.lookahead; la > t0 && la < until {
 			wend = la
 		}
-		nactive := 0
+		nactive, nbusy := 0, 0
 		for i, s := range e.shards {
 			s.windowEnd = wend
-			if i > 0 && len(s.events) > 0 && s.events[0].at < wend {
-				nactive++
+			if len(s.events) > 0 && s.events[0].at < wend {
+				e.stats.active[i]++
+				nbusy++
+				if i > 0 {
+					nactive++
+				}
 			}
 		}
+		e.stats.windows++
+		e.stats.windowCycles += wend - t0
+		e.stats.stallCycles += (wend - t0) * uint64(len(e.shards)-nbusy)
 		wg.Add(nactive)
 		for i, s := range e.shards {
 			if i > 0 && len(s.events) > 0 && s.events[0].at < wend {
@@ -85,6 +98,10 @@ func (e *Engine) runWindows(until Time) error {
 		}
 		e.shards[0].runWindow()
 		wg.Wait()
+		e.stats.barriers++
+		if e.barrierHook != nil {
+			e.barrierHook()
+		}
 
 		if err := e.collectWindow(); err != nil {
 			return err
@@ -180,7 +197,6 @@ func (s *shard) runWindow() {
 		if q.state == procDone {
 			continue
 		}
-		s.curSeq = ev.seq
 		q.state = procRunning
 		q.resume <- ev.at // hand the token to q ...
 		<-s.home          // ... and take it back when the window is over

@@ -157,6 +157,20 @@ type Bus struct {
 	now  func() uint64
 	mask uint32
 	subs [NumCategories][]func(Event)
+
+	// Buffered (sharded) mode: one append-only buffer per shard, drained
+	// into the subscribers in canonical order at window barriers. Nil for
+	// a sequential run — every emission then delivers synchronously. See
+	// shardbus.go.
+	bufs    [][]bufEntry
+	scratch []bufEntry
+
+	// needSync records that some subscriber must observe events
+	// synchronously with simulated execution (RequireSync); such a bus
+	// must not be buffered. drained counts entries delivered by barrier
+	// drains (DrainedEntries).
+	needSync bool
+	drained  uint64
 }
 
 // NewBus creates a bus whose events are timestamped by now (typically the
@@ -199,8 +213,12 @@ func (b *Bus) Emit2(cat Category, core int, kind uint8, line mem.Line, val, aux 
 	if !b.Wants(cat) {
 		return
 	}
-	e := Event{Time: b.now(), Core: core, Cat: cat, Kind: kind, Line: line, Val: val, Aux: aux}
-	for _, fn := range b.subs[cat] {
+	b.deliver(Event{Time: b.now(), Core: core, Cat: cat, Kind: kind, Line: line, Val: val, Aux: aux})
+}
+
+// deliver hands one event to its category's subscribers.
+func (b *Bus) deliver(e Event) {
+	for _, fn := range b.subs[e.Cat] {
 		fn(e)
 	}
 }

@@ -1,0 +1,202 @@
+package telemetry
+
+import (
+	"sort"
+
+	"leaserelease/internal/mem"
+)
+
+// This file is the shard-safe emit path. Under the windowed parallel
+// executor (sim.ConfigureSharding) the bus cannot deliver synchronously:
+// shards execute concurrently and subscribers are single-consumer host
+// state. Instead each shard appends its emissions — and deferred
+// harness-side observations (Defer) — to its own buffer with zero
+// synchronization, and the window coordinator drains every buffer at each
+// barrier, folding entries into the subscribers in canonical order.
+//
+// The canonical order is the lexicographic key
+//
+//	(emit clock, event cycle, target domain, source domain, seq, buffer)
+//
+// where (cycle, domain, src, seq) is the engine's canonical key of the
+// event that was executing when the emission happened. This reproduces the
+// sequential delivery order exactly: the sequential clock is monotone, so
+// sequential emissions are already sorted by emit clock; emissions at the
+// same clock follow event execution order, which is the event-key order;
+// and emissions during one event's execution keep their append order (the
+// final buffer tie-break never fires across shards, because a full
+// five-tuple tie would mean two shards executed the same event). Proc
+// fast-forwards (sim.Proc.Sync) never carry an emission past the window
+// horizon — the fast path is bounded by the shard's window end — so
+// per-barrier drains compose into one globally sorted stream.
+
+// DomainContext is the execution context of an emission under the
+// parallel executor. sim.Domain implements it: EmitContext reports the
+// emitting shard's buffer index (or -1 when the engine is not inside
+// parallel windows, meaning the emission must be synchronous), the shard
+// clock, and the canonical key of the event currently executing.
+type DomainContext interface {
+	EmitContext() (buf int, now, at uint64, dom, src uint32, seq uint64)
+}
+
+// bufEntry is one buffered emission: either an Event or a deferred
+// closure, at a canonical position in the event stream.
+type bufEntry struct {
+	now, at  uint64
+	dom, src uint32
+	seq      uint64
+	ev       Event
+	fn       func()
+}
+
+func (a *bufEntry) before(b *bufEntry) bool {
+	if a.now != b.now {
+		return a.now < b.now
+	}
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.dom != b.dom {
+		return a.dom < b.dom
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.seq < b.seq
+}
+
+// ShardBuffers switches the bus into buffered mode with k per-shard
+// buffers. The machine calls it exactly when the parallel executor
+// engages (k > 1 effective shards); a sequential run never buffers, so
+// its emit path is unchanged.
+func (b *Bus) ShardBuffers(k int) {
+	if b == nil || k <= 1 {
+		return
+	}
+	b.bufs = make([][]bufEntry, k)
+}
+
+// Buffered reports whether ShardBuffers was applied.
+func (b *Bus) Buffered() bool { return b != nil && b.bufs != nil }
+
+// RequireSync marks the bus as carrying a subscriber that must observe
+// events synchronously with simulated execution (e.g. the invariant
+// checker, whose handlers read live machine state). Such a bus must not
+// be buffered: machine.shardPlan degrades the run to the sequential
+// executor instead. Nil-safe.
+func (b *Bus) RequireSync() {
+	if b != nil {
+		b.needSync = true
+	}
+}
+
+// NeedsSync reports whether RequireSync was called. Nil-safe.
+func (b *Bus) NeedsSync() bool { return b != nil && b.needSync }
+
+// EmitOn is Emit from an explicit execution context: synchronous when the
+// bus is unbuffered (or the engine is idle), appended to the emitting
+// shard's buffer under the parallel executor. Every emit site that can
+// execute inside a parallel window must use EmitOn/EmitOn2 with the
+// domain that is actually executing — not the domain the event is about.
+func (b *Bus) EmitOn(d DomainContext, cat Category, core int, kind uint8, line mem.Line, val uint64) {
+	b.EmitOn2(d, cat, core, kind, line, val, 0)
+}
+
+// EmitOn2 is EmitOn with the secondary Aux payload.
+func (b *Bus) EmitOn2(d DomainContext, cat Category, core int, kind uint8, line mem.Line, val, aux uint64) {
+	if !b.Wants(cat) {
+		return
+	}
+	if b.bufs == nil {
+		b.deliver(Event{Time: b.now(), Core: core, Cat: cat, Kind: kind, Line: line, Val: val, Aux: aux})
+		return
+	}
+	buf, now, at, dom, src, seq := d.EmitContext()
+	if buf < 0 {
+		// Engine idle (setup or post-run): the sequential clock is
+		// authoritative and synchronous delivery is safe.
+		b.deliver(Event{Time: b.now(), Core: core, Cat: cat, Kind: kind, Line: line, Val: val, Aux: aux})
+		return
+	}
+	b.bufs[buf] = append(b.bufs[buf], bufEntry{
+		now: now, at: at, dom: dom, src: src, seq: seq,
+		ev: Event{Time: now, Core: core, Cat: cat, Kind: kind, Line: line, Val: val, Aux: aux},
+	})
+}
+
+// Defer runs fn at the current point of the telemetry stream: immediately
+// when delivery is synchronous, otherwise as an entry in the emitting
+// shard's buffer so the barrier merge replays it in canonical order
+// relative to buffered events. The harness uses it for operation-boundary
+// observations (latency histograms, span and ledger op accounting) that
+// would otherwise race with — and mis-order against — buffered events.
+// Nil-safe: a nil bus runs fn immediately.
+func (b *Bus) Defer(d DomainContext, fn func()) {
+	if b == nil || b.bufs == nil {
+		fn()
+		return
+	}
+	buf, now, at, dom, src, seq := d.EmitContext()
+	if buf < 0 {
+		fn()
+		return
+	}
+	b.bufs[buf] = append(b.bufs[buf], bufEntry{
+		now: now, at: at, dom: dom, src: src, seq: seq, fn: fn,
+	})
+}
+
+// DrainBarrier folds every buffered entry into the subscribers in
+// canonical order and resets the buffers. The engine's barrier hook calls
+// it at every window barrier, where all shards are parked and everything
+// they appended happens-before the drain; emissions never cross a window
+// horizon, so per-barrier drains concatenate into the exact sequential
+// delivery order. Drained counts accumulate in DrainedEntries.
+func (b *Bus) DrainBarrier() {
+	if b == nil || b.bufs == nil {
+		return
+	}
+	n := 0
+	for _, buf := range b.bufs {
+		n += len(buf)
+	}
+	if n == 0 {
+		return
+	}
+	merged := b.scratch[:0]
+	for _, buf := range b.bufs {
+		merged = append(merged, buf...)
+	}
+	// Stable sort: entries from one buffer with equal keys (several
+	// emissions during one event's execution) keep their append order.
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].before(&merged[j]) })
+	for i := range merged {
+		if e := &merged[i]; e.fn != nil {
+			e.fn()
+		} else {
+			b.deliver(e.ev)
+		}
+	}
+	b.drained += uint64(n)
+	// Drop closure/event references so they can be collected, keeping the
+	// backing arrays for the next window.
+	for i := range merged {
+		merged[i] = bufEntry{}
+	}
+	b.scratch = merged[:0]
+	for i, buf := range b.bufs {
+		for j := range buf {
+			buf[j] = bufEntry{}
+		}
+		b.bufs[i] = buf[:0]
+	}
+}
+
+// DrainedEntries is the total number of buffered entries delivered by
+// DrainBarrier so far. Nil-safe.
+func (b *Bus) DrainedEntries() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.drained
+}
